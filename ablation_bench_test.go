@@ -1,0 +1,117 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the THT
+// sizing study of §IV-B (N = 8 vs fewer buckets; M = 128 vs smaller
+// buckets) and the type-aware input selection of §III-C.
+package atm
+
+import (
+	"fmt"
+	"testing"
+
+	"atm/internal/apps"
+	"atm/internal/apps/kmeans"
+	"atm/internal/apps/stencil"
+	"atm/internal/core"
+	"atm/internal/taskrt"
+)
+
+// runStencilWith executes the Gauss-Seidel workload under one ATM config
+// and reports speedup-relevant metrics.
+func runStencilWith(b *testing.B, cfg core.Config) {
+	b.Helper()
+	var reuse float64
+	for i := 0; i < b.N; i++ {
+		app := stencil.New(stencil.ParamsFor(stencil.GaussSeidel, apps.ScaleTest))
+		memo := core.New(cfg)
+		rt := taskrt.New(taskrt.Config{Workers: 4, Memoizer: memo})
+		app.Run(rt)
+		rt.Close()
+		reuse += 100 * memo.Stats().TotalReuse()
+	}
+	b.ReportMetric(reuse/float64(b.N), "reuse%")
+}
+
+// BenchmarkAblationTHTBuckets sweeps the THT bucket count 2^N. The paper
+// reports N=8 being 46% faster than N=0 (one bucket) due to lock
+// contention; with Go's per-bucket RWMutexes the same contention shape
+// appears under parallel lookups.
+func BenchmarkAblationTHTBuckets(b *testing.B) {
+	for _, nbits := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("N=%d", nbits), func(b *testing.B) {
+			runStencilWith(b, core.Config{Mode: core.ModeStatic, NBits: nbits, M: 128})
+		})
+	}
+}
+
+// BenchmarkAblationTHTCapacity sweeps the per-bucket capacity M. The paper
+// finds most applications saturate at M=16 while Kmeans needs M=128.
+func BenchmarkAblationTHTCapacity(b *testing.B) {
+	for _, m := range []int{1, 4, 16, 128} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			var reuse float64
+			for i := 0; i < b.N; i++ {
+				app := kmeans.New(kmeans.ParamsFor(apps.ScaleTest))
+				memo := core.New(core.Config{Mode: core.ModeDynamic, M: m})
+				rt := taskrt.New(taskrt.Config{Workers: 4, Memoizer: memo})
+				app.Run(rt)
+				rt.Close()
+				reuse += 100 * memo.Stats().TotalReuse()
+			}
+			b.ReportMetric(reuse/float64(b.N), "reuse%")
+		})
+	}
+}
+
+// BenchmarkAblationTypeAware compares type-aware MSB-first input selection
+// (§III-C) against the plain uniform shuffle at a fixed small p: the
+// type-aware order should find more approximate matches on Kmeans, whose
+// centers differ only in low mantissa bytes once converging.
+func BenchmarkAblationTypeAware(b *testing.B) {
+	for _, aware := range []bool{true, false} {
+		name := "type-aware"
+		if !aware {
+			name = "plain-shuffle"
+		}
+		b.Run(name, func(b *testing.B) {
+			var reuse float64
+			for i := 0; i < b.N; i++ {
+				app := kmeans.New(kmeans.ParamsFor(apps.ScaleTest))
+				memo := core.New(core.Config{
+					Mode: core.ModeFixed, FixedLevel: 5,
+					DisableTypeAware: !aware,
+				})
+				rt := taskrt.New(taskrt.Config{Workers: 4, Memoizer: memo})
+				app.Run(rt)
+				rt.Close()
+				reuse += 100 * memo.Stats().TotalReuse()
+			}
+			b.ReportMetric(reuse/float64(b.N), "reuse%")
+		})
+	}
+}
+
+// BenchmarkAblationIKT isolates the In-flight Key Table's contribution on
+// Jacobi, the benchmark the paper highlights (§V-A: IKT raises Jacobi's
+// performance 13% in dynamic ATM).
+func BenchmarkAblationIKT(b *testing.B) {
+	for _, ikt := range []bool{true, false} {
+		name := "THT+IKT"
+		if !ikt {
+			name = "THT-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			var inflight float64
+			for i := 0; i < b.N; i++ {
+				app := stencil.New(stencil.ParamsFor(stencil.Jacobi, apps.ScaleTest))
+				memo := core.New(core.Config{Mode: core.ModeStatic, DisableIKT: !ikt})
+				rt := taskrt.New(taskrt.Config{Workers: 4, Memoizer: memo})
+				app.Run(rt)
+				rt.Close()
+				st := memo.Stats()
+				for _, ts := range st.Types {
+					inflight += float64(ts.MemoizedIKT)
+				}
+			}
+			b.ReportMetric(inflight/float64(b.N), "ikt-reuses")
+		})
+	}
+}

@@ -1,0 +1,285 @@
+// Package atm's root benchmark suite regenerates every table and figure of
+// the paper's evaluation as testing.B benchmarks (DESIGN.md §4 maps each
+// experiment to its bench target). The benches run at ScaleTest so the
+// whole suite stays fast; `cmd/atmbench -scale bench` (or `-scale paper`)
+// produces the full-size numbers recorded in EXPERIMENTS.md.
+//
+// Custom metrics reported:
+//
+//	speedup   — equation 2, baseline time / ATM time, same workload
+//	reuse%    — fraction of memoized tasks
+//	correct%  — final output correctness vs the baseline run
+package atm
+
+import (
+	"fmt"
+	"testing"
+
+	"atm/internal/apps"
+	"atm/internal/core"
+	"atm/internal/harness"
+	"atm/internal/region"
+	"atm/internal/sampling"
+	"atm/internal/taskrt"
+)
+
+// benchApps lists the Table I benchmarks.
+var benchApps = harness.Benchmarks()
+
+// runPair measures one baseline + one ATM run and reports the paper's
+// metrics.
+func runPair(b *testing.B, name string, spec harness.ATMSpec, workers int) {
+	b.Helper()
+	f := harness.FactoryFor(name)
+	var spSum, reuseSum, corrSum float64
+	for i := 0; i < b.N; i++ {
+		base := harness.RunOne(f, apps.ScaleTest, workers, harness.Baseline(), harness.RunOptions{})
+		o := harness.RunOne(f, apps.ScaleTest, workers, spec, harness.RunOptions{})
+		spSum += harness.Speedup(base, o)
+		reuseSum += 100 * o.Reuse()
+		corrSum += o.App.Correctness(base.App)
+	}
+	b.ReportMetric(spSum/float64(b.N), "speedup")
+	b.ReportMetric(reuseSum/float64(b.N), "reuse%")
+	b.ReportMetric(corrSum/float64(b.N), "correct%")
+}
+
+// BenchmarkTable1Inventory regenerates Table I's measured columns: task
+// counts and task input sizes per benchmark.
+func BenchmarkTable1Inventory(b *testing.B) {
+	for _, name := range benchApps {
+		b.Run(name, func(b *testing.B) {
+			f := harness.FactoryFor(name)
+			var tasks, bytes float64
+			for i := 0; i < b.N; i++ {
+				o := harness.RunOne(f, apps.ScaleTest, 4, harness.Dynamic(true), harness.RunOptions{Trace: true})
+				var memoTasks int64
+				for _, ts := range o.Stats.Types {
+					memoTasks += ts.Tasks
+				}
+				tasks += float64(memoTasks)
+				bytes += float64(o.App.MemoTaskInputBytes())
+			}
+			b.ReportMetric(tasks/float64(b.N), "memo-tasks")
+			b.ReportMetric(bytes/float64(b.N), "input-bytes")
+		})
+	}
+}
+
+// BenchmarkTable3Memory regenerates Table III: ATM memory overhead
+// relative to the application footprint.
+func BenchmarkTable3Memory(b *testing.B) {
+	for _, name := range benchApps {
+		b.Run(name, func(b *testing.B) {
+			f := harness.FactoryFor(name)
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				o := harness.RunOne(f, apps.ScaleTest, 4, harness.Dynamic(true), harness.RunOptions{})
+				overhead += 100 * float64(o.ATMMemory) / float64(o.App.FootprintBytes())
+			}
+			b.ReportMetric(overhead/float64(b.N), "overhead%")
+		})
+	}
+}
+
+// BenchmarkFig3Speedup regenerates Fig. 3's four ATM configurations per
+// benchmark (the oracle bars are sweeps; see cmd/atmbench -experiment fig3).
+func BenchmarkFig3Speedup(b *testing.B) {
+	configs := []struct {
+		label string
+		spec  harness.ATMSpec
+	}{
+		{"StaticTHT", harness.Static(false)},
+		{"DynamicTHT", harness.Dynamic(false)},
+		{"StaticTHT+IKT", harness.Static(true)},
+		{"DynamicTHT+IKT", harness.Dynamic(true)},
+	}
+	for _, name := range benchApps {
+		for _, cfg := range configs {
+			b.Run(name+"/"+cfg.label, func(b *testing.B) {
+				runPair(b, name, cfg.spec, 4)
+			})
+		}
+	}
+}
+
+// BenchmarkFig4Correctness reports the correctness metric of the static
+// and dynamic configurations (Fig. 4 shares Fig. 3's runs; this target
+// re-measures them standalone).
+func BenchmarkFig4Correctness(b *testing.B) {
+	for _, name := range benchApps {
+		b.Run(name, func(b *testing.B) {
+			runPair(b, name, harness.Dynamic(true), 4)
+		})
+	}
+}
+
+// BenchmarkFig5PSweep regenerates Fig. 5: correctness and reuse at fixed
+// p levels (a representative subset of the 16 levels; atmbench sweeps all).
+func BenchmarkFig5PSweep(b *testing.B) {
+	for _, name := range benchApps {
+		for _, level := range []int{0, 7, 12, 15} {
+			b.Run(fmt.Sprintf("%s/level%02d", name, level), func(b *testing.B) {
+				runPair(b, name, harness.Fixed(level, true), 4)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Scalability regenerates Fig. 6: dynamic ATM speedup at
+// growing core counts.
+func BenchmarkFig6Scalability(b *testing.B) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		for _, name := range benchApps {
+			b.Run(fmt.Sprintf("%s/%dcores", name, cores), func(b *testing.B) {
+				runPair(b, name, harness.Dynamic(true), cores)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7TraceOverhead measures a detail-traced Gauss-Seidel run
+// (Fig. 7's instrument) against an untraced one.
+func BenchmarkFig7TraceOverhead(b *testing.B) {
+	f := harness.FactoryFor("GS")
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			harness.RunOne(f, apps.ScaleTest, 4, harness.Dynamic(true), harness.RunOptions{Detail: true})
+		}
+	})
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			harness.RunOne(f, apps.ScaleTest, 4, harness.Dynamic(true), harness.RunOptions{})
+		}
+	})
+}
+
+// BenchmarkFig8CreationThroughput measures Blackscholes' ready-queue
+// behavior with and without ATM (Fig. 8): the metric is tasks consumed per
+// millisecond of wall time.
+func BenchmarkFig8CreationThroughput(b *testing.B) {
+	f := harness.FactoryFor("Blackscholes")
+	for _, spec := range []harness.ATMSpec{harness.Baseline(), harness.Dynamic(true)} {
+		b.Run(spec.Name(), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				o := harness.RunOne(f, apps.ScaleTest, 4, spec, harness.RunOptions{Trace: true})
+				rate += float64(o.Tracer.Created()) / (float64(o.Elapsed.Microseconds()) / 1000)
+			}
+			b.ReportMetric(rate/float64(b.N), "tasks/ms")
+		})
+	}
+}
+
+// BenchmarkFig9Reuse regenerates Fig. 9's headline number per benchmark:
+// the reuse fraction and how early it is generated (normalized id of the
+// first reuse-generating task).
+func BenchmarkFig9Reuse(b *testing.B) {
+	for _, name := range benchApps {
+		b.Run(name, func(b *testing.B) {
+			f := harness.FactoryFor(name)
+			var reuse, firstID float64
+			for i := 0; i < b.N; i++ {
+				o := harness.RunOne(f, apps.ScaleTest, 4, harness.Dynamic(true), harness.RunOptions{Trace: true})
+				reuse += 100 * o.Reuse()
+				xs, _ := o.Tracer.CumulativeReuse()
+				if len(xs) > 0 {
+					firstID += xs[0]
+				} else {
+					firstID += 1
+				}
+			}
+			b.ReportMetric(reuse/float64(b.N), "reuse%")
+			b.ReportMetric(firstID/float64(b.N), "first-provider-id")
+		})
+	}
+}
+
+// --- microbenchmarks for ATM's critical paths ---
+
+// BenchmarkHashKeyLevels measures hash-key computation cost across p
+// levels on a 256 KiB float32 input (§III-B: "the hash key computation
+// time depends linearly on the size of the data inputs").
+func BenchmarkHashKeyLevels(b *testing.B) {
+	for _, level := range []int{0, 5, 10, 13, 15} {
+		b.Run(fmt.Sprintf("level%02d_p=%g", level, sampling.PFromLevel(level)), func(b *testing.B) {
+			memo := core.New(core.Config{Mode: core.ModeFixed, FixedLevel: level})
+			rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+			defer rt.Close()
+			in := region.NewFloat32(64 * 1024)
+			for i := range in.Data {
+				in.Data[i] = float32(i)
+			}
+			out := region.NewFloat32(1)
+			var captured *taskrt.Task
+			tt := rt.RegisterType(taskrt.TypeConfig{Name: "t", Run: func(task *taskrt.Task) { captured = task }})
+			rt.Submit(tt, taskrt.In(in), taskrt.Out(out))
+			rt.Wait()
+			b.SetBytes(int64(in.NumBytes()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				memo.HashKey(captured, level)
+			}
+		})
+	}
+}
+
+// BenchmarkMemoizedVsExecuted compares the cost of a memoized task
+// (hash + THT copy) with a full execution of the same task, the ratio
+// behind all of Fig. 3's speedups.
+func BenchmarkMemoizedVsExecuted(b *testing.B) {
+	mkRT := func(spec harness.ATMSpec) (*taskrt.Runtime, *taskrt.TaskType, *region.Float64, *region.Float64) {
+		var m taskrt.Memoizer
+		if spec.Enabled {
+			m = core.New(core.Config{Mode: spec.Mode})
+		}
+		rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: m})
+		in := region.NewFloat64(8192)
+		for i := range in.Data {
+			in.Data[i] = float64(i)
+		}
+		out := region.NewFloat64(8192)
+		tt := rt.RegisterType(taskrt.TypeConfig{Name: "t", Memoize: true, Run: func(task *taskrt.Task) {
+			src, dst := task.Float64s(0), task.Float64s(1)
+			for i := range src {
+				v := src[i]
+				dst[i] = v*v*0.25 + v*0.5 + 1
+			}
+		}})
+		return rt, tt, in, out
+	}
+	b.Run("executed", func(b *testing.B) {
+		rt, tt, in, out := mkRT(harness.Baseline())
+		defer rt.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Submit(tt, taskrt.In(in), taskrt.Out(out))
+			rt.Wait()
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		rt, tt, in, out := mkRT(harness.Static(true))
+		defer rt.Close()
+		rt.Submit(tt, taskrt.In(in), taskrt.Out(out)) // warm the THT
+		rt.Wait()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Submit(tt, taskrt.In(in), taskrt.Out(out))
+			rt.Wait()
+		}
+	})
+}
+
+// BenchmarkRuntimeSubmitWait measures raw task overhead without ATM (the
+// task-creation throughput ceiling of Fig. 8's analysis).
+func BenchmarkRuntimeSubmitWait(b *testing.B) {
+	rt := taskrt.New(taskrt.Config{Workers: 4})
+	defer rt.Close()
+	r := region.NewFloat64(1)
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "noop", Run: func(*taskrt.Task) {}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Submit(tt, taskrt.InOut(r))
+	}
+	rt.Wait()
+}

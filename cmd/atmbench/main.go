@@ -1,0 +1,174 @@
+// Command atmbench regenerates the tables and figures of "ATM: Approximate
+// Task Memoization in the Runtime System" (IPDPS 2017) on this machine.
+//
+// Usage:
+//
+//	atmbench -experiment fig3 -scale bench -workers 8
+//	atmbench -experiment all -bench Blackscholes,LU
+//	atmbench -experiment stats -bench Swaptions -mode dynamic
+//
+// Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+// stats all. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"atm/internal/apps"
+	"atm/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig3", "table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|stats|all")
+		benchList  = flag.String("bench", "", "comma-separated benchmark filter (Blackscholes,GS,Jacobi,Kmeans,LU,Swaptions)")
+		scaleStr   = flag.String("scale", "bench", "workload scale: test|bench|paper")
+		workers    = flag.Int("workers", defaultWorkers(), "number of worker cores")
+		repeats    = flag.Int("repeats", 1, "timing repetitions (median reported)")
+		seed       = flag.Uint64("seed", 0, "ATM sampling seed")
+		mode       = flag.String("mode", "dynamic", "stats experiment: baseline|static|dynamic|fixed")
+		level      = flag.Int("level", 15, "stats experiment: p level for -mode fixed")
+		noIKT      = flag.Bool("no-ikt", false, "stats experiment: disable the IKT")
+	)
+	flag.Parse()
+
+	var scale apps.Scale
+	switch *scaleStr {
+	case "test":
+		scale = apps.ScaleTest
+	case "bench":
+		scale = apps.ScaleBench
+	case "paper":
+		scale = apps.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleStr)
+		os.Exit(2)
+	}
+
+	opt := harness.Options{
+		Scale:   scale,
+		Workers: *workers,
+		Repeats: *repeats,
+		Seed:    *seed,
+		Out:     os.Stdout,
+	}
+	if *benchList != "" {
+		for _, b := range strings.Split(*benchList, ",") {
+			b = strings.TrimSpace(b)
+			if harness.FactoryFor(b) == nil {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", b)
+				os.Exit(2)
+			}
+			opt.Benchmarks = append(opt.Benchmarks, b)
+		}
+	}
+
+	switch *experiment {
+	case "table1":
+		harness.Table1(opt)
+	case "table2":
+		harness.Table2(opt)
+	case "table3":
+		harness.Table3(opt)
+	case "fig3", "fig4":
+		harness.Fig3(opt)
+	case "fig5":
+		harness.Fig5(opt)
+	case "fig6":
+		harness.Fig6(opt)
+	case "fig7":
+		harness.Fig7(opt)
+	case "fig8":
+		harness.Fig8(opt)
+	case "fig9":
+		harness.Fig9(opt)
+	case "stats":
+		runStats(opt, *mode, *level, !*noIKT)
+	case "all":
+		harness.Table1(opt)
+		fmt.Println()
+		harness.Table2(opt)
+		fmt.Println()
+		harness.Table3(opt)
+		fmt.Println()
+		harness.Fig3(opt)
+		fmt.Println()
+		harness.Fig5(opt)
+		fmt.Println()
+		harness.Fig6(opt)
+		fmt.Println()
+		harness.Fig7(opt)
+		fmt.Println()
+		harness.Fig8(opt)
+		fmt.Println()
+		harness.Fig9(opt)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func defaultWorkers() int {
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8 // the paper's machine has 8 cores
+	}
+	return n
+}
+
+// runStats runs each selected benchmark once under one configuration and
+// dumps the detailed ATM statistics.
+func runStats(opt harness.Options, mode string, level int, ikt bool) {
+	var spec harness.ATMSpec
+	switch mode {
+	case "baseline":
+		spec = harness.Baseline()
+	case "static":
+		spec = harness.Static(ikt)
+	case "dynamic":
+		spec = harness.Dynamic(ikt)
+	case "fixed":
+		spec = harness.Fixed(level, ikt)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", mode)
+		os.Exit(2)
+	}
+	names := opt.Benchmarks
+	if len(names) == 0 {
+		names = harness.Benchmarks()
+	}
+	for _, name := range names {
+		base := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, harness.Baseline(), harness.RunOptions{})
+		o := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, spec, harness.RunOptions{Seed: opt.Seed})
+		fmt.Printf("%s under %s: elapsed=%v speedup=%.2fx correctness=%.3f%% reuse=%.1f%%\n",
+			name, spec.Name(), o.Elapsed, harness.Speedup(base, o), o.App.Correctness(base.App), 100*o.Reuse())
+		for _, ts := range o.Stats.Types {
+			fmt.Printf("  type %-24s tasks=%-6d exec=%-6d memoTHT=%-6d memoIKT=%-5d trainHits=%-5d trainFail=%-4d excl=%d level=%d (p=%s) steady=%v hash=%v copy=%v\n",
+				ts.Name, ts.Tasks, ts.Executed, ts.MemoizedTHT, ts.MemoizedIKT,
+				ts.TrainingHits, ts.TrainingFailures, ts.ExcludedRegions, ts.Level,
+				fmtP(ts.P), ts.Steady, ts.HashTime.Round(1e3), ts.CopyTime.Round(1e3))
+		}
+		s := o.Stats
+		fmt.Printf("  THT: %d entries, %s, lookups=%d hits=%d evictions=%d; IKT: inserts=%d defers=%d rejected=%d\n\n",
+			s.THTEntries, fmtBytes(s.THTBytes), s.THTLookups, s.THTHits, s.THTEvictions,
+			s.IKTInserts, s.IKTDefers, s.IKTRejected)
+	}
+}
+
+func fmtP(p float64) string { return fmt.Sprintf("%.4g%%", 100*p) }
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

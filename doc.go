@@ -1,0 +1,24 @@
+// Package atm is the root of a from-scratch Go reproduction of "ATM:
+// Approximate Task Memoization in the Runtime System" (Brumar, Casas,
+// Moretó, Valero, Sohi — IPDPS 2017).
+//
+// The library lives in the internal packages:
+//
+//   - internal/taskrt — an OmpSs-style task-dataflow runtime (task types,
+//     in/out/inout region annotations, dependence graph, ready queue,
+//     worker pool, scheduling policies).
+//   - internal/core — the ATM engine: Task History Table, In-flight Key
+//     Table, Jenkins hashing over sampled inputs, and the static /
+//     dynamic / fixed-p operating modes.
+//   - internal/region, internal/sampling, internal/jenkins,
+//     internal/metrics, internal/trace — the supporting substrates.
+//   - internal/apps/... — the six evaluated benchmarks of Table I.
+//   - internal/harness and cmd/atmbench — the evaluation, regenerating
+//     every table and figure of the paper.
+//
+// This root package carries the repository-level benchmark suite
+// (bench_test.go, ablation_bench_test.go): one testing.B target per paper
+// table/figure plus ablations of the design decisions. See README.md for
+// a tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// paper-vs-measured results.
+package atm

@@ -1,0 +1,83 @@
+// Quickstart: define a task type, mark it memoizable, and let ATM skip
+// redundant executions.
+//
+// The workload prices the same handful of input blocks over and over — a
+// caricature of the redundancy real programs exhibit (§I). Run it twice,
+// with and without ATM, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"atm/internal/core"
+	"atm/internal/region"
+	"atm/internal/taskrt"
+)
+
+func main() {
+	const (
+		blocks   = 8    // distinct input blocks
+		rounds   = 64   // times each block is processed
+		elements = 4096 // floats per block
+	)
+
+	// Build the inputs: a few distinct blocks, reused many times.
+	inputs := make([]*region.Float64, blocks)
+	outputs := make([]*region.Float64, blocks)
+	for b := range inputs {
+		inputs[b] = region.NewFloat64(elements)
+		outputs[b] = region.NewFloat64(elements)
+		for i := range inputs[b].Data {
+			inputs[b].Data[i] = float64(b+1) * float64(i%97)
+		}
+	}
+
+	workload := func(memo *core.ATM) time.Duration {
+		var m taskrt.Memoizer
+		if memo != nil {
+			m = memo
+		}
+		rt := taskrt.New(taskrt.Config{Workers: 4, Memoizer: m})
+		heavy := rt.RegisterType(taskrt.TypeConfig{
+			Name:    "heavy_transform",
+			Memoize: true, // programmer marks the type suitable for ATM
+			Run: func(t *taskrt.Task) {
+				in, out := t.Float64s(0), t.Float64s(1)
+				for i := range in {
+					// An expensive, deterministic per-element kernel.
+					out[i] = math.Sqrt(math.Exp(math.Sin(in[i])) + 1)
+				}
+			},
+		})
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for b := 0; b < blocks; b++ {
+				rt.Submit(heavy, taskrt.In(inputs[b]), taskrt.Out(outputs[b]))
+			}
+		}
+		rt.Wait()
+		elapsed := time.Since(start)
+		rt.Close()
+		return elapsed
+	}
+
+	base := workload(nil)
+
+	memo := core.New(core.Config{Mode: core.ModeStatic})
+	withATM := workload(memo)
+
+	stats := memo.Stats()
+	fmt.Printf("baseline:   %v\n", base.Round(time.Microsecond))
+	fmt.Printf("static ATM: %v  (%.1fx speedup)\n",
+		withATM.Round(time.Microsecond), float64(base)/float64(withATM))
+	for _, ts := range stats.Types {
+		fmt.Printf("task type %q: %d tasks, %d executed, %d memoized from THT, %d in-flight reuses (%.0f%% reuse)\n",
+			ts.Name, ts.Tasks, ts.Executed, ts.MemoizedTHT, ts.MemoizedIKT, 100*ts.Reuse())
+	}
+	fmt.Printf("THT memory: %.1f KiB in %d entries\n",
+		float64(stats.THTBytes)/1024, stats.THTEntries)
+}

@@ -1,0 +1,72 @@
+// Package apps defines the common shape of the six evaluated benchmark
+// applications (Table I): financial analysis (Blackscholes, Swaptions),
+// stencil computation (Gauss-Seidel, Jacobi), machine learning (Kmeans)
+// and linear algebra (SparseLU).
+//
+// Each application constructs a fresh deterministic workload, registers
+// its task types with a runtime, submits its task graph, and exposes the
+// outputs on which the paper measures correctness. Determinism matters
+// twice: ATM requires task bodies that are pure functions of their
+// declared inputs (§III-E), and the harness compares an ATM run against a
+// baseline run of an identical workload instance.
+package apps
+
+import (
+	"atm/internal/region"
+	"atm/internal/taskrt"
+)
+
+// Scale selects a workload size.
+type Scale int
+
+// Workload scales.
+const (
+	// ScaleTest is tiny, for unit and integration tests.
+	ScaleTest Scale = iota
+	// ScaleBench is the default harness size: large enough that task
+	// bodies dominate scheduling, small enough for repeated sweeps.
+	ScaleBench
+	// ScalePaper approximates the paper's input sizes (Table I).
+	ScalePaper
+)
+
+// String returns the scale's name.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleBench:
+		return "bench"
+	case ScalePaper:
+		return "paper"
+	default:
+		return "unknown"
+	}
+}
+
+// App is one benchmark instance. Instances are single-use: build a fresh
+// one per run.
+type App interface {
+	// Name returns the benchmark's name as used in the paper's tables.
+	Name() string
+	// Run registers task types on rt, submits the whole task graph and
+	// waits for completion.
+	Run(rt *taskrt.Runtime)
+	// Result returns the output regions correctness is measured on
+	// (Table I, "Correctness Measured on").
+	Result() []region.Region
+	// Correctness compares this (ATM) run against a reference run of an
+	// identical workload and returns the paper's correctness percentage
+	// (100 − relative error·100, clamped to [0,100]). SparseLU overrides
+	// the metric with the |A−LU|²/|A|² residual of equation 4.
+	Correctness(ref App) float64
+	// MemoTaskInputBytes reports the memoized task type's input size in
+	// bytes (Table I, "Task Inputs Size").
+	MemoTaskInputBytes() int
+	// FootprintBytes estimates the application's data footprint, the
+	// denominator of Table III's memory-overhead ratio.
+	FootprintBytes() int
+}
+
+// Factory builds a fresh workload instance at the given scale.
+type Factory func(scale Scale) App

@@ -1,0 +1,84 @@
+// Package apptest provides shared checks for the benchmark applications:
+// determinism of the workload, bit-exactness under static ATM, and bounded
+// accuracy loss under dynamic ATM. Every app package's tests call into it.
+package apptest
+
+import (
+	"testing"
+
+	"atm/internal/apps"
+	"atm/internal/core"
+	"atm/internal/taskrt"
+)
+
+// RunBaseline executes a fresh instance without ATM.
+func RunBaseline(f apps.Factory, workers int) apps.App {
+	app := f(apps.ScaleTest)
+	rt := taskrt.New(taskrt.Config{Workers: workers})
+	app.Run(rt)
+	rt.Close()
+	return app
+}
+
+// RunWithATM executes a fresh instance under the given ATM mode.
+func RunWithATM(f apps.Factory, workers int, cfg core.Config) (apps.App, *core.ATM) {
+	app := f(apps.ScaleTest)
+	memo := core.New(cfg)
+	rt := taskrt.New(taskrt.Config{Workers: workers, Memoizer: memo})
+	app.Run(rt)
+	rt.Close()
+	return app, memo
+}
+
+// CheckDeterministic verifies two baseline runs produce bit-identical
+// results — the precondition for ATM (§III-E) and for the harness's
+// baseline-vs-ATM comparisons.
+func CheckDeterministic(t *testing.T, f apps.Factory) {
+	t.Helper()
+	a := RunBaseline(f, 1)
+	b := RunBaseline(f, 4)
+	ra, rb := a.Result(), b.Result()
+	if len(ra) != len(rb) {
+		t.Fatalf("result arity differs: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if !ra[i].EqualContents(rb[i]) {
+			t.Fatalf("result region %d differs between runs (nondeterministic workload)", i)
+		}
+	}
+}
+
+// CheckStaticExact verifies static ATM reproduces the baseline outputs
+// bit for bit (the paper's "static ATM always achieves a 100%
+// correctness", §V-A).
+func CheckStaticExact(t *testing.T, f apps.Factory) {
+	t.Helper()
+	ref := RunBaseline(f, 4)
+	app, memo := RunWithATM(f, 4, core.Config{Mode: core.ModeStatic})
+	ra, rb := ref.Result(), app.Result()
+	for i := range ra {
+		if !ra[i].EqualContents(rb[i]) {
+			t.Fatalf("static ATM diverged on result region %d", i)
+		}
+	}
+	if c := app.Correctness(ref); c < 99.999 {
+		t.Fatalf("static correctness=%v", c)
+	}
+	_ = memo
+}
+
+// CheckDynamicBounded verifies dynamic ATM stays above the correctness
+// floor and that its accounting is consistent.
+func CheckDynamicBounded(t *testing.T, f apps.Factory, floor float64) {
+	t.Helper()
+	ref := RunBaseline(f, 4)
+	app, memo := RunWithATM(f, 4, core.Config{Mode: core.ModeDynamic})
+	if c := app.Correctness(ref); c < floor {
+		t.Fatalf("dynamic ATM correctness %v below floor %v", c, floor)
+	}
+	for _, ts := range memo.Stats().Types {
+		if ts.Executed+ts.MemoizedTHT+ts.MemoizedIKT != ts.Tasks {
+			t.Fatalf("task accounting leak: %+v", ts)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package blackscholes implements the Blackscholes benchmark (Table I):
+// analytic pricing of a portfolio of European options with the
+// Black–Scholes closed-form solution, taskified as in PARSECSs with a
+// single task type (bs_thread) that prices one block of options.
+//
+// Redundancy structure (§V-D): the PARSEC native input replicates a small
+// set of distinct options to reach 10 million entries, and the program
+// repeats the whole pricing algorithm for several iterations. Both effects
+// are reproduced here: the portfolio tiles a pool of distinct options
+// whose period is a multiple of the block size, and the task graph prices
+// the portfolio for a configurable number of iterations. Most redundancy
+// is therefore generated early in the execution — the Fig. 9 curve.
+package blackscholes
+
+import (
+	"math"
+
+	"atm/internal/apps"
+	"atm/internal/metrics"
+	"atm/internal/region"
+	"atm/internal/taskrt"
+)
+
+// attrs is the number of float32 attributes per option: spot, strike,
+// rate, volatility, time-to-maturity, type flag (call/put).
+const attrs = 6
+
+// Params sizes a workload.
+type Params struct {
+	// NumOptions is the portfolio size.
+	NumOptions int
+	// BlockSize is the number of options priced per task.
+	BlockSize int
+	// DistinctBlocks is the number of distinct option blocks the
+	// portfolio tiles; NumOptions/BlockSize tasks cycle through them.
+	DistinctBlocks int
+	// Iterations repeats the pricing algorithm, as the PARSEC kernel
+	// does (the paper reports 50% reuse even with a single iteration).
+	Iterations int
+	// Seed fixes the generated portfolio.
+	Seed uint64
+}
+
+// ParamsFor returns the workload parameters at a scale. ScalePaper follows
+// Table I: 393,216 bytes of task input (16,384 options × 6 floats × 4 B)
+// and about 6,109 tasks.
+func ParamsFor(scale apps.Scale) Params {
+	switch scale {
+	case apps.ScalePaper:
+		return Params{NumOptions: 10_000_000, BlockSize: 16384, DistinctBlocks: 64, Iterations: 10, Seed: 42}
+	case apps.ScaleBench:
+		return Params{NumOptions: 196_608, BlockSize: 2048, DistinctBlocks: 12, Iterations: 6, Seed: 42}
+	default:
+		return Params{NumOptions: 8192, BlockSize: 512, DistinctBlocks: 4, Iterations: 3, Seed: 42}
+	}
+}
+
+// App is one Blackscholes workload instance.
+type App struct {
+	p      Params
+	blocks []*region.Float32 // option data, one region per block
+	prices []*region.Float32 // output prices, one region per block
+}
+
+// New builds a workload with explicit parameters.
+func New(p Params) *App {
+	if p.BlockSize <= 0 {
+		p.BlockSize = 512
+	}
+	nblocks := p.NumOptions / p.BlockSize
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	if p.DistinctBlocks <= 0 || p.DistinctBlocks > nblocks {
+		p.DistinctBlocks = nblocks
+	}
+	a := &App{p: p}
+	rng := apps.NewRNG(p.Seed)
+
+	distinct := make([][]float32, p.DistinctBlocks)
+	for d := range distinct {
+		blk := make([]float32, attrs*p.BlockSize)
+		for o := 0; o < p.BlockSize; o++ {
+			spot := 10 + 90*rng.Float32()
+			strike := spot * (0.8 + 0.4*rng.Float32())
+			rate := 0.01 + 0.09*rng.Float32()
+			vol := 0.05 + 0.55*rng.Float32()
+			tt := 0.25 + 3.75*rng.Float32()
+			call := float32(0)
+			if rng.Intn(2) == 0 {
+				call = 1
+			}
+			copy(blk[o*attrs:], []float32{spot, strike, rate, vol, tt, call})
+		}
+		distinct[d] = blk
+	}
+	for b := 0; b < nblocks; b++ {
+		src := distinct[b%p.DistinctBlocks]
+		data := make([]float32, len(src))
+		copy(data, src)
+		a.blocks = append(a.blocks, region.WrapFloat32(data))
+		a.prices = append(a.prices, region.NewFloat32(p.BlockSize))
+	}
+	return a
+}
+
+// Factory builds an instance at the given scale.
+func Factory(scale apps.Scale) apps.App { return New(ParamsFor(scale)) }
+
+// Name implements apps.App.
+func (a *App) Name() string { return "Blackscholes" }
+
+// cndf is the cumulative normal distribution function.
+func cndf(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// priceBlock prices every option of the input block into out.
+func priceBlock(in []float32, out []float32) {
+	for o := range out {
+		b := in[o*attrs:]
+		s, k := float64(b[0]), float64(b[1])
+		r, v, t := float64(b[2]), float64(b[3]), float64(b[4])
+		sqrtT := math.Sqrt(t)
+		d1 := (math.Log(s/k) + (r+0.5*v*v)*t) / (v * sqrtT)
+		d2 := d1 - v*sqrtT
+		disc := k * math.Exp(-r*t)
+		var price float64
+		if b[5] != 0 { // call
+			price = s*cndf(d1) - disc*cndf(d2)
+		} else { // put
+			price = disc*cndf(-d2) - s*cndf(-d1)
+		}
+		out[o] = float32(price)
+	}
+}
+
+// Run implements apps.App.
+func (a *App) Run(rt *taskrt.Runtime) {
+	bsThread := rt.RegisterType(taskrt.TypeConfig{
+		Name:      "bs_thread",
+		Memoize:   true,
+		TauMax:    0.01, // Table II: τmax = 1%
+		LTraining: 15,   // Table II: L_training = 15
+		Run: func(t *taskrt.Task) {
+			priceBlock(t.Float32s(0), t.Float32s(1))
+		},
+	})
+	for it := 0; it < a.p.Iterations; it++ {
+		for b := range a.blocks {
+			rt.Submit(bsThread, taskrt.In(a.blocks[b]), taskrt.Out(a.prices[b]))
+		}
+		rt.Wait()
+	}
+}
+
+// Result implements apps.App: correctness is measured on the prices
+// vector (Table I).
+func (a *App) Result() []region.Region {
+	out := make([]region.Region, len(a.prices))
+	for i, p := range a.prices {
+		out[i] = p
+	}
+	return out
+}
+
+// Correctness implements apps.App.
+func (a *App) Correctness(ref apps.App) float64 {
+	return metrics.Correctness(metrics.Euclidean(ref.Result(), a.Result()))
+}
+
+// MemoTaskInputBytes implements apps.App.
+func (a *App) MemoTaskInputBytes() int { return attrs * a.p.BlockSize * 4 }
+
+// FootprintBytes implements apps.App.
+func (a *App) FootprintBytes() int {
+	n := 0
+	for _, b := range a.blocks {
+		n += b.NumBytes()
+	}
+	for _, p := range a.prices {
+		n += p.NumBytes()
+	}
+	return n
+}
+
+// NumTasks returns the total task count (Table I's "Number of tasks").
+func (a *App) NumTasks() int { return len(a.blocks) * a.p.Iterations }
+
+// Params returns the instance's parameters.
+func (a *App) Params() Params { return a.p }

@@ -1,0 +1,81 @@
+package blackscholes
+
+import (
+	"math"
+	"testing"
+
+	"atm/internal/apps"
+	"atm/internal/apps/apptest"
+)
+
+func TestDeterministic(t *testing.T)  { apptest.CheckDeterministic(t, Factory) }
+func TestStaticExact(t *testing.T)    { apptest.CheckStaticExact(t, Factory) }
+func TestDynamicBounded(t *testing.T) { apptest.CheckDynamicBounded(t, Factory, 95) }
+
+func TestPriceBlockSanity(t *testing.T) {
+	// A deep in-the-money call with negligible volatility is worth about
+	// S - K*exp(-rT); the matching put is nearly worthless.
+	in := []float32{
+		100, 50, 0.05, 0.05, 1, 1, // call
+		100, 50, 0.05, 0.05, 1, 0, // put
+	}
+	out := make([]float32, 2)
+	priceBlock(in, out)
+	want := 100 - 50*math.Exp(-0.05)
+	if math.Abs(float64(out[0])-want) > 0.5 {
+		t.Fatalf("call=%v want ~%v", out[0], want)
+	}
+	if out[1] > 0.5 {
+		t.Fatalf("deep OTM put=%v", out[1])
+	}
+}
+
+func TestPutCallParity(t *testing.T) {
+	// C - P = S - K*exp(-rT) for the same parameters.
+	s, k, r, v, tt := float32(90), float32(95), float32(0.03), float32(0.3), float32(2)
+	in := []float32{s, k, r, v, tt, 1, s, k, r, v, tt, 0}
+	out := make([]float32, 2)
+	priceBlock(in, out)
+	lhs := float64(out[0] - out[1])
+	rhs := float64(s) - float64(k)*math.Exp(-float64(r*tt))
+	if math.Abs(lhs-rhs) > 1e-3 {
+		t.Fatalf("parity violated: C-P=%v, S-Ke^-rT=%v", lhs, rhs)
+	}
+}
+
+func TestPortfolioTiling(t *testing.T) {
+	a := New(Params{NumOptions: 4096, BlockSize: 512, DistinctBlocks: 2, Iterations: 1, Seed: 9})
+	if len(a.blocks) != 8 {
+		t.Fatalf("blocks=%d", len(a.blocks))
+	}
+	// Blocks 0 and 2 tile the same distinct pattern.
+	if !a.blocks[0].EqualContents(a.blocks[2]) {
+		t.Fatal("tiling must replicate distinct blocks")
+	}
+	if a.blocks[0].EqualContents(a.blocks[1]) {
+		t.Fatal("adjacent blocks must differ (period 2)")
+	}
+}
+
+func TestParamsFor(t *testing.T) {
+	p := ParamsFor(apps.ScalePaper)
+	if p.NumOptions != 10_000_000 {
+		t.Fatal("paper scale must use the native 10M options")
+	}
+	if got := New(ParamsFor(apps.ScaleTest)).MemoTaskInputBytes(); got <= 0 {
+		t.Fatalf("input bytes=%d", got)
+	}
+}
+
+func TestTableIAccounting(t *testing.T) {
+	a := New(ParamsFor(apps.ScaleTest))
+	if a.Name() != "Blackscholes" {
+		t.Fatal("name")
+	}
+	if a.NumTasks() != len(a.blocks)*a.Params().Iterations {
+		t.Fatal("task count")
+	}
+	if a.FootprintBytes() <= a.MemoTaskInputBytes() {
+		t.Fatal("footprint must cover the whole portfolio")
+	}
+}

@@ -1,0 +1,240 @@
+// Package kmeans implements the Kmeans benchmark of Table I: unsupervised
+// clustering of N d-dimensional points into k groups. One task type
+// (kmeans_calculate) assigns a block of points to their closest centers
+// and accumulates per-center partial sums; a second task type recomputes
+// the centers from the partials.
+//
+// Redundancy structure (§V-D): the centers change in every iteration, so
+// exact (static) memoization finds nothing and its hashing overhead makes
+// the program slower — the paper's static-ATM slowdown. But some centers
+// converge before others, and once a center's most significant bytes stop
+// moving, the assignment tasks become approximately redundant; dynamic
+// ATM captures them with a small p. τmax is 20% (Table II): the partial
+// sums tolerate coarse matching because the center update averages them.
+package kmeans
+
+import (
+	"atm/internal/apps"
+	"atm/internal/metrics"
+	"atm/internal/region"
+	"atm/internal/taskrt"
+)
+
+// Params sizes a workload.
+type Params struct {
+	// Points is the total number of points (paper: 2·10⁶).
+	Points int
+	// Dims is the point dimensionality (paper: 100).
+	Dims int
+	// K is the number of clusters (paper: 16).
+	K int
+	// BlockSize is the number of points assigned per task.
+	BlockSize int
+	// Iterations is the number of Lloyd iterations.
+	Iterations int
+	// Spread is the intra-cluster noise radius relative to the
+	// inter-cluster distance; small spreads converge (and memoize) fast.
+	Spread float64
+	// Seed fixes the generated points and starting centers.
+	Seed uint64
+}
+
+// ParamsFor returns parameters at a scale. ScalePaper follows Table I:
+// 2·10⁶ points, 16 centers, 100 dimensions, ~39,063 tasks; the task input
+// (points block + centers) is 219,716 bytes ≈ (512·100 + 16·100 + pad)
+// floats.
+func ParamsFor(scale apps.Scale) Params {
+	switch scale {
+	case apps.ScalePaper:
+		return Params{Points: 2_000_000, Dims: 100, K: 16, BlockSize: 512, Iterations: 10, Spread: 0.05, Seed: 11}
+	case apps.ScaleBench:
+		return Params{Points: 24_576, Dims: 32, K: 8, BlockSize: 512, Iterations: 12, Spread: 0.05, Seed: 11}
+	default:
+		return Params{Points: 2048, Dims: 8, K: 4, BlockSize: 256, Iterations: 6, Spread: 0.05, Seed: 11}
+	}
+}
+
+// App is one Kmeans workload instance.
+type App struct {
+	p       Params
+	nblocks int
+	points  []*region.Float32 // one region per block: BlockSize×Dims
+	centers *region.Float32   // k×Dims
+	sums    []*region.Float32 // per block: k×Dims partial sums
+	counts  []*region.Int32   // per block: k partial counts
+}
+
+// New builds a workload with explicit parameters.
+func New(p Params) *App {
+	if p.BlockSize <= 0 {
+		p.BlockSize = 256
+	}
+	if p.K < 1 {
+		p.K = 1
+	}
+	a := &App{p: p}
+	a.nblocks = p.Points / p.BlockSize
+	if a.nblocks < 1 {
+		a.nblocks = 1
+	}
+	rng := apps.NewRNG(p.Seed)
+
+	// True cluster centers on a coarse grid, well separated.
+	truth := make([]float64, p.K*p.Dims)
+	for c := 0; c < p.K; c++ {
+		for d := 0; d < p.Dims; d++ {
+			truth[c*p.Dims+d] = float64(10 * rng.Intn(10))
+		}
+	}
+	for b := 0; b < a.nblocks; b++ {
+		blk := region.NewFloat32(p.BlockSize * p.Dims)
+		for i := 0; i < p.BlockSize; i++ {
+			c := rng.Intn(p.K)
+			for d := 0; d < p.Dims; d++ {
+				noise := (2*rng.Float64() - 1) * p.Spread * 10
+				blk.Data[i*p.Dims+d] = float32(truth[c*p.Dims+d] + noise)
+			}
+		}
+		a.points = append(a.points, blk)
+		a.sums = append(a.sums, region.NewFloat32(p.K*p.Dims))
+		a.counts = append(a.counts, region.NewInt32(p.K))
+	}
+	// Start centers at perturbed truth so iterations converge smoothly
+	// (random restarts would be nondeterministic across layouts).
+	a.centers = region.NewFloat32(p.K * p.Dims)
+	for i := range a.centers.Data {
+		a.centers.Data[i] = float32(truth[i] + (2*rng.Float64()-1)*2)
+	}
+	return a
+}
+
+// Factory builds an instance at the given scale.
+func Factory(scale apps.Scale) apps.App { return New(ParamsFor(scale)) }
+
+// Name implements apps.App.
+func (a *App) Name() string { return "Kmeans" }
+
+// assignBlock computes per-center partial sums and counts for one block.
+func assignBlock(points, centers []float32, k, dims int, sums []float32, counts []int32) {
+	for i := range sums {
+		sums[i] = 0
+	}
+	for i := range counts {
+		counts[i] = 0
+	}
+	n := len(points) / dims
+	for i := 0; i < n; i++ {
+		pt := points[i*dims : (i+1)*dims]
+		best, bestD := 0, float32(0)
+		for c := 0; c < k; c++ {
+			var dist float32
+			ct := centers[c*dims : (c+1)*dims]
+			for d := 0; d < dims; d++ {
+				diff := pt[d] - ct[d]
+				dist += diff * diff
+			}
+			if c == 0 || dist < bestD {
+				best, bestD = c, dist
+			}
+		}
+		counts[best]++
+		bs := sums[best*dims : (best+1)*dims]
+		for d := 0; d < dims; d++ {
+			bs[d] += pt[d]
+		}
+	}
+}
+
+// Run implements apps.App.
+func (a *App) Run(rt *taskrt.Runtime) {
+	k, dims := a.p.K, a.p.Dims
+	calc := rt.RegisterType(taskrt.TypeConfig{
+		Name:      "kmeans_calculate",
+		Memoize:   true,
+		TauMax:    0.20, // Table II: τmax = 20%
+		LTraining: 15,   // Table II
+		Run: func(t *taskrt.Task) {
+			assignBlock(t.Float32s(0), t.Float32s(1), k, dims, t.Float32s(2), t.Int32s(3))
+		},
+	})
+	update := rt.RegisterType(taskrt.TypeConfig{
+		Name: "kmeans_update",
+		Run: func(t *taskrt.Task) {
+			centers := t.Float32s(0)
+			nb := (len(t.Accesses()) - 1) / 2
+			total := make([]float64, k*dims)
+			cnt := make([]int64, k)
+			for b := 0; b < nb; b++ {
+				s := t.Float32s(1 + b)
+				c := t.Int32s(1 + nb + b)
+				for i, v := range s {
+					total[i] += float64(v)
+				}
+				for i, v := range c {
+					cnt[i] += int64(v)
+				}
+			}
+			for c := 0; c < k; c++ {
+				if cnt[c] == 0 {
+					continue // keep the previous center
+				}
+				for d := 0; d < dims; d++ {
+					centers[c*dims+d] = float32(total[c*dims+d] / float64(cnt[c]))
+				}
+			}
+		},
+	})
+
+	for it := 0; it < a.p.Iterations; it++ {
+		for b := 0; b < a.nblocks; b++ {
+			rt.Submit(calc,
+				taskrt.In(a.points[b]), taskrt.In(a.centers),
+				taskrt.Out(a.sums[b]), taskrt.Out(a.counts[b]))
+		}
+		accs := make([]taskrt.Access, 0, 1+2*a.nblocks)
+		accs = append(accs, taskrt.InOut(a.centers))
+		for b := 0; b < a.nblocks; b++ {
+			accs = append(accs, taskrt.In(a.sums[b]))
+		}
+		for b := 0; b < a.nblocks; b++ {
+			accs = append(accs, taskrt.In(a.counts[b]))
+		}
+		rt.Submit(update, accs...)
+	}
+	rt.Wait()
+}
+
+// Result implements apps.App: correctness is measured on the centers
+// vector (Table I).
+func (a *App) Result() []region.Region { return []region.Region{a.centers} }
+
+// Correctness implements apps.App.
+func (a *App) Correctness(ref apps.App) float64 {
+	return metrics.Correctness(metrics.Euclidean(ref.Result(), a.Result()))
+}
+
+// MemoTaskInputBytes implements apps.App: points block + centers.
+func (a *App) MemoTaskInputBytes() int {
+	return 4 * (a.p.BlockSize*a.p.Dims + a.p.K*a.p.Dims)
+}
+
+// FootprintBytes implements apps.App.
+func (a *App) FootprintBytes() int {
+	n := a.centers.NumBytes()
+	for _, b := range a.points {
+		n += b.NumBytes()
+	}
+	for _, s := range a.sums {
+		n += s.NumBytes()
+	}
+	for _, c := range a.counts {
+		n += c.NumBytes()
+	}
+	return n
+}
+
+// NumTasks returns the assign-task count.
+func (a *App) NumTasks() int { return a.nblocks * a.p.Iterations }
+
+// Params returns the instance's parameters.
+func (a *App) Params() Params { return a.p }

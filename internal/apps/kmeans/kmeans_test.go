@@ -1,0 +1,115 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"atm/internal/apps"
+	"atm/internal/apps/apptest"
+)
+
+func TestDeterministic(t *testing.T) { apptest.CheckDeterministic(t, Factory) }
+func TestStaticExact(t *testing.T)   { apptest.CheckStaticExact(t, Factory) }
+
+func TestDynamicBounded(t *testing.T) {
+	// Table II gives Kmeans τmax = 20%; the paper reports 98.8% final
+	// correctness. Use a conservative floor.
+	apptest.CheckDynamicBounded(t, Factory, 90)
+}
+
+func TestAssignBlockPartialSums(t *testing.T) {
+	// 4 points in 2D, 2 centers at (0,0) and (10,10).
+	points := []float32{0, 1, 1, 0, 9, 10, 10, 9}
+	centers := []float32{0, 0, 10, 10}
+	sums := make([]float32, 4)
+	counts := make([]int32, 2)
+	assignBlock(points, centers, 2, 2, sums, counts)
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("counts=%v", counts)
+	}
+	if sums[0] != 1 || sums[1] != 1 { // (0,1)+(1,0)
+		t.Fatalf("cluster 0 sums=%v", sums[:2])
+	}
+	if sums[2] != 19 || sums[3] != 19 { // (9,10)+(10,9)
+		t.Fatalf("cluster 1 sums=%v", sums[2:])
+	}
+}
+
+func TestAssignBlockResetsOutputs(t *testing.T) {
+	// Outputs are pure functions of inputs: stale values in the output
+	// regions must not leak into the result (ATM's determinism rule).
+	points := []float32{5, 5}
+	centers := []float32{5, 5}
+	sums := []float32{99, 99}
+	counts := []int32{42}
+	assignBlock(points, centers, 1, 2, sums, counts)
+	if counts[0] != 1 || sums[0] != 5 || sums[1] != 5 {
+		t.Fatalf("stale state leaked: sums=%v counts=%v", sums, counts)
+	}
+}
+
+func TestConvergesTowardClusterMeans(t *testing.T) {
+	app := New(Params{Points: 512, Dims: 4, K: 2, BlockSize: 128, Iterations: 8, Spread: 0.02, Seed: 3})
+	apptest.RunBaseline(func(apps.Scale) apps.App { return app }, 2)
+	// After convergence every center must sit near a dense region of
+	// points: the mean distance from each point to its closest center
+	// must be small relative to the data scale.
+	var worst float64
+	for b := range app.points {
+		pts := app.points[b].Data
+		for i := 0; i < len(pts)/app.p.Dims; i++ {
+			best := math.Inf(1)
+			for c := 0; c < app.p.K; c++ {
+				var d float64
+				for dim := 0; dim < app.p.Dims; dim++ {
+					diff := float64(pts[i*app.p.Dims+dim] - app.centers.Data[c*app.p.Dims+dim])
+					d += diff * diff
+				}
+				if d < best {
+					best = d
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+	}
+	// Points sit within Spread*10 of their true center; a converged
+	// center must be within a few noise radii of every member.
+	if math.Sqrt(worst) > 5 {
+		t.Fatalf("worst point-center distance %v: kmeans failed to converge", math.Sqrt(worst))
+	}
+}
+
+func TestEmptyClusterKeepsCenter(t *testing.T) {
+	// A center with no assigned points must keep its previous position
+	// (division-by-zero guard in the update task).
+	app := New(Params{Points: 128, Dims: 2, K: 4, BlockSize: 64, Iterations: 3, Spread: 0.01, Seed: 7})
+	before := make([]float32, len(app.centers.Data))
+	copy(before, app.centers.Data)
+	apptest.RunBaseline(func(apps.Scale) apps.App { return app }, 2)
+	for _, v := range app.centers.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("center corrupted by empty cluster")
+		}
+	}
+	_ = before
+}
+
+func TestTableIShape(t *testing.T) {
+	p := ParamsFor(apps.ScalePaper)
+	if p.Points != 2_000_000 || p.K != 16 || p.Dims != 100 {
+		t.Fatal("paper scale must match Table I")
+	}
+	a := New(ParamsFor(apps.ScaleTest))
+	if a.Name() != "Kmeans" {
+		t.Fatal("name")
+	}
+	want := 4 * (a.p.BlockSize*a.p.Dims + a.p.K*a.p.Dims)
+	if a.MemoTaskInputBytes() != want {
+		t.Fatal("task input bytes: points block + centers")
+	}
+	if a.NumTasks() != a.nblocks*a.p.Iterations {
+		t.Fatal("task count")
+	}
+}

@@ -1,0 +1,58 @@
+package apps
+
+import "math"
+
+// RNG is a small deterministic generator (xorshift64*) used by the
+// workload builders. Workloads must be reproducible so that baseline and
+// ATM runs operate on identical inputs; math/rand would also work, but a
+// self-contained generator keeps the byte streams stable across Go
+// releases.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator. A zero seed is replaced with a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller, one value
+// per call; simple and deterministic).
+func (r *RNG) NormFloat64() float64 {
+	// Marsaglia polar method without rejection bias concerns for
+	// benchmark data: retry until inside the unit circle.
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}

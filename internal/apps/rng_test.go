@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := NewRNG(seed), NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed must be remapped (xorshift fixed point)")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64=%v", f)
+		}
+		if f := r.Float32(); f < 0 || f >= 1 {
+			t.Fatalf("Float32=%v", f)
+		}
+		if n := r.Intn(7); n < 0 || n >= 7 {
+			t.Fatalf("Intn=%d", n)
+		}
+	}
+}
+
+func TestRNGUniformish(t *testing.T) {
+	r := NewRNG(123)
+	const n, buckets = 100000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[int(r.Float64()*buckets)]++
+	}
+	for b, c := range counts {
+		if c < n/buckets*8/10 || c > n/buckets*12/10 {
+			t.Fatalf("bucket %d has %d of %d samples", b, c, n)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean=%v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("variance=%v", variance)
+	}
+}
+
+func TestScaleStrings(t *testing.T) {
+	if ScaleTest.String() != "test" || ScaleBench.String() != "bench" || ScalePaper.String() != "paper" {
+		t.Fatal("scale names")
+	}
+	if Scale(9).String() != "unknown" {
+		t.Fatal("unknown scale")
+	}
+}

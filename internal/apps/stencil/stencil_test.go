@@ -1,0 +1,156 @@
+package stencil
+
+import (
+	"testing"
+
+	"atm/internal/apps"
+	"atm/internal/apps/apptest"
+	"atm/internal/region"
+)
+
+func TestGSDeterministic(t *testing.T) {
+	apptest.CheckDeterministic(t, Factory(GaussSeidel))
+}
+
+func TestJacobiDeterministic(t *testing.T) {
+	apptest.CheckDeterministic(t, Factory(Jacobi))
+}
+
+func TestGSStaticExact(t *testing.T)  { apptest.CheckStaticExact(t, Factory(GaussSeidel)) }
+func TestJacStaticExact(t *testing.T) { apptest.CheckStaticExact(t, Factory(Jacobi)) }
+
+func TestGSDynamicBounded(t *testing.T) {
+	apptest.CheckDynamicBounded(t, Factory(GaussSeidel), 90)
+}
+
+func TestJacobiDynamicBounded(t *testing.T) {
+	apptest.CheckDynamicBounded(t, Factory(Jacobi), 90)
+}
+
+func TestCopyEdge(t *testing.T) {
+	bs := 3
+	block := []float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	check := func(edge int, want []float32) {
+		halo := make([]float32, bs)
+		copyEdge(block, bs, edge, halo)
+		for i := range want {
+			if halo[i] != want[i] {
+				t.Fatalf("edge %d: got %v want %v", edge, halo, want)
+			}
+		}
+	}
+	check(dirN, []float32{1, 2, 3})
+	check(dirS, []float32{7, 8, 9})
+	check(dirW, []float32{1, 4, 7})
+	check(dirE, []float32{3, 6, 9})
+}
+
+func TestRelaxUniformIsFixedPoint(t *testing.T) {
+	// A uniform block with uniform halos is a fixed point of both
+	// relaxations — the redundancy source the paper describes for the
+	// room's interior (§V-D).
+	bs := 4
+	b := make([]float32, bs*bs)
+	for i := range b {
+		b[i] = 3.5
+	}
+	halo := []float32{3.5, 3.5, 3.5, 3.5}
+	inplace := make([]float32, bs*bs)
+	copy(inplace, b)
+	relaxInPlace(inplace, bs, halo, halo, halo, halo)
+	for i := range inplace {
+		if inplace[i] != 3.5 {
+			t.Fatalf("GS fixed point broken at %d: %v", i, inplace[i])
+		}
+	}
+	out := make([]float32, bs*bs)
+	relaxOut(b, out, bs, halo, halo, halo, halo)
+	for i := range out {
+		if out[i] != 3.5 {
+			t.Fatalf("Jacobi fixed point broken at %d: %v", i, out[i])
+		}
+	}
+}
+
+func TestHeatFlowsInFromBoundary(t *testing.T) {
+	// After a few iterations, cells near the hot walls must warm up and
+	// stay within [initial, boundary] bounds (maximum principle).
+	a := New(Params{Variant: GaussSeidel, NB: 3, BS: 8, Iterations: 5, BoundaryTemp: 100, Seed: 1, PatternPool: 1})
+	ref := apptest.RunBaseline(func(apps.Scale) apps.App { return a }, 2)
+	_ = ref
+	corner := a.blocks[0][0].Data
+	if corner[0] <= 1 {
+		t.Fatalf("corner cell never warmed: %v", corner[0])
+	}
+	for i := range a.blocks {
+		for j := range a.blocks[i] {
+			for _, v := range a.blocks[i][j].Data {
+				if v < 0 || v > 100 {
+					t.Fatalf("temperature %v outside [0, 100]", v)
+				}
+			}
+		}
+	}
+}
+
+func TestJacobiPingPong(t *testing.T) {
+	// With an odd iteration count the result lives in the next grid;
+	// with an even count in the original. Both must expose a full grid.
+	for _, iters := range []int{1, 2} {
+		a := New(Params{Variant: Jacobi, NB: 2, BS: 4, Iterations: iters, BoundaryTemp: 10, Seed: 1, PatternPool: 1})
+		app := apptest.RunBaseline(func(apps.Scale) apps.App { return a }, 2)
+		if got := len(app.Result()); got != 4 {
+			t.Fatalf("iters=%d: result blocks=%d", iters, got)
+		}
+	}
+}
+
+func TestGSPropagatesFasterThanJacobi(t *testing.T) {
+	// Gauss-Seidel uses fresh north/west halos within an iteration, so
+	// after one iteration heat reaches deeper than Jacobi's single-step
+	// front. Verify on the far corner block of a small grid: total heat
+	// absorbed by GS must be at least Jacobi's.
+	mk := func(v Variant) *App {
+		return New(Params{Variant: v, NB: 2, BS: 4, Iterations: 1, BoundaryTemp: 50, Seed: 1, PatternPool: 1})
+	}
+	gs := mk(GaussSeidel)
+	apptest.RunBaseline(func(apps.Scale) apps.App { return gs }, 1)
+	jac := mk(Jacobi)
+	apptest.RunBaseline(func(apps.Scale) apps.App { return jac }, 1)
+	sum := func(g [][]*region.Float32) float64 {
+		var s float64
+		for i := range g {
+			for j := range g[i] {
+				for _, v := range g[i][j].Data {
+					s += float64(v)
+				}
+			}
+		}
+		return s
+	}
+	if sum(gs.finalGrid()) < sum(jac.finalGrid()) {
+		t.Fatal("GS must absorb at least as much boundary heat per iteration")
+	}
+}
+
+func TestVariantNamesAndTableI(t *testing.T) {
+	if GaussSeidel.String() != "Gauss-Seidel" || Jacobi.String() != "Jacobi" {
+		t.Fatal("variant names")
+	}
+	p := ParamsFor(GaussSeidel, apps.ScalePaper)
+	if p.NB != 32 || p.BS != 1024 {
+		t.Fatal("paper scale must match Table I (32x32 blocks of 1024)")
+	}
+	a := New(ParamsFor(GaussSeidel, apps.ScaleTest))
+	if a.NumStencilTasks() != a.Params().NB*a.Params().NB*a.Params().Iterations {
+		t.Fatal("stencil task count")
+	}
+	// Table I: task input = block + 4 halos.
+	if a.MemoTaskInputBytes() != 4*(a.Params().BS*a.Params().BS+4*a.Params().BS) {
+		t.Fatal("memo task input bytes")
+	}
+}

@@ -1,0 +1,121 @@
+package swaptions
+
+import (
+	"math"
+	"testing"
+
+	"atm/internal/apps"
+	"atm/internal/apps/apptest"
+)
+
+func TestDeterministic(t *testing.T) { apptest.CheckDeterministic(t, Factory) }
+func TestStaticExact(t *testing.T)   { apptest.CheckStaticExact(t, Factory) }
+
+func TestDynamicBounded(t *testing.T) {
+	// The paper reports 96.8% for Swaptions (its worst case, Fig. 4).
+	apptest.CheckDynamicBounded(t, Factory, 90)
+}
+
+func TestPriceIsDeterministicInInputs(t *testing.T) {
+	// The Monte-Carlo seed derives from the inputs: equal parameter
+	// vectors must price to bit-equal results (§III-E's determinism
+	// requirement), regardless of execution order.
+	app := New(ParamsFor(apps.ScaleTest))
+	in := app.inputs[0].Data
+	out1 := make([]float64, 2)
+	out2 := make([]float64, 2)
+	price(in, out1, 100, 8)
+	price(in, out2, 100, 8)
+	if out1[0] != out2[0] || out1[1] != out2[1] {
+		t.Fatal("pricing must be a pure function of the inputs")
+	}
+}
+
+func TestPriceSensitivityToInputs(t *testing.T) {
+	app := New(ParamsFor(apps.ScaleTest))
+	in := make([]float64, paramLen)
+	copy(in, app.inputs[0].Data)
+	base := make([]float64, 2)
+	price(in, base, 200, 8)
+	in[0] *= 2 // double the strike
+	moved := make([]float64, 2)
+	price(in, moved, 200, 8)
+	if base[0] == moved[0] {
+		t.Fatal("strike changes must move the price")
+	}
+	if moved[0] > base[0] {
+		t.Fatal("a payer swaption must be worth less at a higher strike")
+	}
+}
+
+func TestPriceIsFiniteAndNonNegative(t *testing.T) {
+	app := New(ParamsFor(apps.ScaleTest))
+	for i, in := range app.inputs {
+		out := make([]float64, 2)
+		price(in.Data, out, 50, 8)
+		if math.IsNaN(out[0]) || math.IsInf(out[0], 0) || out[0] < 0 {
+			t.Fatalf("swaption %d price=%v", i, out[0])
+		}
+		if out[1] < 0 {
+			t.Fatalf("swaption %d stderr=%v", i, out[1])
+		}
+	}
+}
+
+func TestPortfolioCarriesExactDuplicates(t *testing.T) {
+	app := New(ParamsFor(apps.ScaleTest))
+	dups := 0
+	for i := range app.inputs {
+		for j := i + 1; j < len(app.inputs); j++ {
+			if app.inputs[i].EqualContents(app.inputs[j]) {
+				dups++
+			}
+		}
+	}
+	if dups == 0 {
+		t.Fatal("portfolio must contain exact duplicates (static ATM's reuse source)")
+	}
+}
+
+func TestNearDuplicatesShareMSBs(t *testing.T) {
+	// Near-duplicates differ from some pool entry only in the lowest
+	// mantissa byte of curve points: their 7 upper bytes must agree.
+	p := ParamsFor(apps.ScaleTest)
+	app := New(p)
+	near := 0
+	for i := range app.inputs {
+		for j := 0; j < i; j++ {
+			a, b := app.inputs[i].Data, app.inputs[j].Data
+			if app.inputs[i].EqualContents(app.inputs[j]) {
+				continue
+			}
+			match := true
+			for k := range a {
+				if math.Float64bits(a[k])>>8 != math.Float64bits(b[k])>>8 {
+					match = false
+					break
+				}
+			}
+			if match {
+				near++
+			}
+		}
+	}
+	if near == 0 {
+		t.Fatal("portfolio must contain MSB-identical near-duplicates (dynamic ATM's extra reuse)")
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	if paramLen*8 != 376 {
+		t.Fatalf("task input must be 376 bytes as in Table I, got %d", paramLen*8)
+	}
+	p := ParamsFor(apps.ScalePaper)
+	if p.NumSwaptions != 512 {
+		t.Fatal("paper scale must use 512 swaptions")
+	}
+	a := New(ParamsFor(apps.ScaleTest))
+	if a.Name() != "Swaptions" || a.NumTasks() != len(a.inputs) {
+		t.Fatal("accounting")
+	}
+}

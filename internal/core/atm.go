@@ -1,0 +1,542 @@
+// Package core implements Approximate Task Memoization (ATM), the paper's
+// primary contribution (§III): a runtime-system mechanism that predicts
+// the outputs of ready tasks from the history of previous executions of
+// the same task type.
+//
+// It plugs into the task runtime (package taskrt) through the Memoizer
+// hook. When a worker pulls a ready task, core computes an 8-byte Jenkins
+// hash key over a sampled subset of the task's input bytes and probes the
+// Task History Table (THT); on a hit the stored outputs are copied into
+// the task's outputs and the body is skipped. On a miss, the In-flight Key
+// Table (IKT) catches reuse at short distances: if an identical task is
+// currently executing, this one is deferred and receives the outputs when
+// the in-flight provider finishes.
+//
+// Three operating modes are provided:
+//
+//   - ModeStatic — static ATM: p = 100% of input bytes, exact memoization,
+//     0% accuracy loss.
+//   - ModeDynamic — dynamic ATM: a per-task-type training phase starts at
+//     p = 2^-15·100% and doubles p every time an approximated task's
+//     Chebyshev error τ reaches τmax, until L_training tasks in a row are
+//     approximated correctly; then a steady phase memoizes at the chosen p
+//     without executing the tasks.
+//   - ModeFixed — a constant p level with no training, used by the
+//     Oracle(100%)/Oracle(95%) sweeps and the Fig. 5 sensitivity study.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atm/internal/jenkins"
+	"atm/internal/metrics"
+	"atm/internal/region"
+	"atm/internal/sampling"
+	"atm/internal/taskrt"
+	"atm/internal/trace"
+)
+
+// Mode selects the ATM operating mode.
+type Mode uint8
+
+// Operating modes.
+const (
+	ModeStatic  Mode = iota // p = 100%, exact memoization
+	ModeDynamic             // training phase chooses p automatically
+	ModeFixed               // constant p level (oracle / sensitivity runs)
+)
+
+// String returns the mode's name.
+func (m Mode) String() string {
+	switch m {
+	case ModeStatic:
+		return "static"
+	case ModeDynamic:
+		return "dynamic"
+	case ModeFixed:
+		return "fixed-p"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Config configures an ATM instance.
+type Config struct {
+	// Mode selects static, dynamic, or fixed-p operation.
+	Mode Mode
+	// FixedLevel is the p level for ModeFixed: level L means
+	// p = 2^(L-15), so 15 is 100%. Ignored in other modes.
+	FixedLevel int
+	// NBits sets the THT to 2^NBits buckets. Zero means 8, the paper's
+	// sizing (§IV-B: "N=8 provides a 46% performance improvement with
+	// respect to N=0").
+	NBits int
+	// M is the THT bucket capacity. Zero means 128, the paper's value
+	// (sized for Kmeans; most applications saturate at 16).
+	M int
+	// DisableIKT turns off the In-flight Key Table, leaving only the
+	// THT (the "THT" bars of Fig. 3).
+	DisableIKT bool
+	// DisableTypeAware turns off type-aware MSB-first input selection
+	// (§III-C) and uses the plain uniform shuffle.
+	DisableTypeAware bool
+	// VerifyInputs enables the paranoid final check the paper built and
+	// then dropped (§III-E): THT entries additionally store a snapshot
+	// of the (sampled) task inputs, and a key hit is confirmed by
+	// comparing the actual sampled bytes before the outputs are served.
+	// This eliminates hash-collision false positives at the price of
+	// roughly doubling the THT's memory and the hit-path work; the paper
+	// found "the obtained results did not justify such a complex
+	// approach" and observed no collisions in any benchmark, which the
+	// FalsePositives counter lets this implementation confirm too.
+	VerifyInputs bool
+	// Seed perturbs the shuffle plans and hash keys; runs with equal
+	// seeds are reproducible.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.NBits == 0 {
+		c.NBits = 8
+	}
+	if c.M == 0 {
+		c.M = 128
+	}
+	if c.FixedLevel < sampling.MinPLevel {
+		c.FixedLevel = sampling.MinPLevel
+	}
+	if c.FixedLevel > sampling.MaxPLevel {
+		c.FixedLevel = sampling.MaxPLevel
+	}
+}
+
+// excludeAfter is the number of failed training approximations after
+// which an output region is declared chaotic and excluded from ATM.
+const excludeAfter = 3
+
+// phase is a task type's position in the dynamic-ATM lifecycle.
+type phase uint8
+
+const (
+	phaseTraining phase = iota
+	phaseSteady
+)
+
+// typeState is the per-task-type adaptive state of §III-D.
+type typeState struct {
+	mu        sync.Mutex
+	phase     phase
+	level     int // current p level: p = 2^(level-15)
+	successes int // consecutive correct approximations at this level
+	// failCount counts, per output region, training approximations whose
+	// τ reached τmax. Every failure doubles p (§III-D); a region that
+	// keeps failing across levels is "potentially related to chaotic
+	// behavior" and joins the exclusion set after excludeAfter failures:
+	// its tasks bypass ATM instead of driving p all the way to 100%.
+	// This reproduces the output-pointer exclusion set that Jacobi needs
+	// (§IV-A) while letting ordinary failures raise p as the paper's
+	// algorithm does.
+	failCount map[region.Region]int
+	excluded  map[region.Region]bool
+
+	// Counters (guarded by mu).
+	tasks         int64
+	executed      int64
+	memoTHT       int64
+	memoIKT       int64
+	trainHits     int64
+	trainFailures int64
+	excludedSkips int64
+	hashNanos     int64
+	copyNanos     int64
+}
+
+// scratch is the per-task Memoizer state carried from OnReady to
+// OnFinished in Task.MemoScratch.
+type scratch struct {
+	key        uint64
+	level      int8
+	trainEntry *Entry // training-phase THT hit to grade after execution
+	iktKey     iktKey
+	inIKT      bool
+	// insSnap holds pre-execution input clones when Config.VerifyInputs
+	// is set; inout inputs are mutated by the body, so the snapshot must
+	// be taken at hash time, not at THT-insert time.
+	insSnap []region.Region
+}
+
+// ATM is the Approximate Task Memoization engine. It implements
+// taskrt.Memoizer and taskrt.RuntimeBinder.
+type ATM struct {
+	cfg Config
+	rt  *taskrt.Runtime
+	tht *THT
+	ikt *IKT
+
+	planMu sync.RWMutex
+	plans  map[planKey]*sampling.Plan
+
+	falsePositives atomic.Int64
+
+	typeMu sync.Mutex
+	types  map[int]*typeState
+	names  map[int]string
+}
+
+type planKey struct {
+	typeID int
+	sig    uint64
+}
+
+var (
+	_ taskrt.Memoizer      = (*ATM)(nil)
+	_ taskrt.RuntimeBinder = (*ATM)(nil)
+)
+
+// New builds an ATM engine. Pass it as taskrt.Config.Memoizer; the runtime
+// binds itself on construction.
+func New(cfg Config) *ATM {
+	cfg.applyDefaults()
+	return &ATM{
+		cfg:   cfg,
+		tht:   NewTHT(cfg.NBits, cfg.M),
+		plans: make(map[planKey]*sampling.Plan),
+		types: make(map[int]*typeState),
+		names: make(map[int]string),
+	}
+}
+
+// BindRuntime implements taskrt.RuntimeBinder.
+func (a *ATM) BindRuntime(rt *taskrt.Runtime) {
+	a.rt = rt
+	a.ikt = NewIKT(rt.Workers())
+}
+
+// Config returns the engine's effective configuration.
+func (a *ATM) Config() Config { return a.cfg }
+
+// THT exposes the history table (for statistics and tests).
+func (a *ATM) THT() *THT { return a.tht }
+
+// IKT exposes the in-flight table (for statistics and tests).
+func (a *ATM) IKT() *IKT { return a.ikt }
+
+// state returns (creating if needed) the per-type adaptive state.
+func (a *ATM) state(tt *taskrt.TaskType) *typeState {
+	a.typeMu.Lock()
+	defer a.typeMu.Unlock()
+	ts, ok := a.types[tt.ID()]
+	if !ok {
+		ts = &typeState{
+			failCount: make(map[region.Region]int),
+			excluded:  make(map[region.Region]bool),
+		}
+		switch a.cfg.Mode {
+		case ModeStatic:
+			ts.phase = phaseSteady
+			ts.level = sampling.MaxPLevel
+		case ModeFixed:
+			ts.phase = phaseSteady
+			ts.level = a.cfg.FixedLevel
+		default:
+			ts.phase = phaseTraining
+			ts.level = sampling.MinPLevel
+		}
+		a.types[tt.ID()] = ts
+		a.names[tt.ID()] = tt.Name()
+	}
+	return ts
+}
+
+// plan returns the cached shuffle plan for a task's input layout.
+func (a *ATM) plan(typeID int, layout sampling.Layout) *sampling.Plan {
+	pk := planKey{typeID: typeID, sig: layout.Signature()}
+	a.planMu.RLock()
+	p := a.plans[pk]
+	a.planMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	a.planMu.Lock()
+	defer a.planMu.Unlock()
+	if p = a.plans[pk]; p != nil {
+		return p
+	}
+	seed := a.cfg.Seed ^ pk.sig ^ (uint64(typeID)+1)*0x9e3779b97f4a7c15
+	p = sampling.NewPlan(layout, seed, !a.cfg.DisableTypeAware)
+	a.plans[pk] = p
+	return p
+}
+
+// HashKey computes the task's 8-byte key at the given p level (§III-B).
+// At level 15 (p = 100%) the whole input is streamed element-wise; below
+// that, the cached shuffled index prefix selects the sampled bytes.
+func (a *ATM) HashKey(t *taskrt.Task, level int) uint64 {
+	ins := t.Inputs()
+	layout := sampling.LayoutOf(ins)
+	seed := a.cfg.Seed ^ layout.Signature() ^ (uint64(t.Type().ID())+1)*0xc2b2ae3d27d4eb4f
+	h := jenkins.NewStreaming(seed)
+	if level >= sampling.MaxPLevel {
+		for _, in := range ins {
+			in.HashWords(h)
+		}
+		return h.Sum64()
+	}
+	plan := a.plan(t.Type().ID(), layout)
+	for i, offsets := range plan.Segmented(level) {
+		if len(offsets) > 0 {
+			ins[i].HashSample(offsets, h)
+		}
+	}
+	return h.Sum64()
+}
+
+// verifyHit confirms a THT key match by comparing the actual sampled input
+// bytes when Config.VerifyInputs is set (the §III-E final check). Without
+// verification it accepts the hit, like the paper's deployed design.
+func (a *ATM) verifyHit(e *Entry, t *taskrt.Task, level int) bool {
+	if !a.cfg.VerifyInputs || e.Ins == nil {
+		return true
+	}
+	ins := t.Inputs()
+	if len(ins) != len(e.Ins) {
+		a.falsePositives.Add(1)
+		return false
+	}
+	if level >= sampling.MaxPLevel {
+		// Exact mode: the whole inputs must be bit-identical.
+		for i, in := range ins {
+			if !in.EqualContents(e.Ins[i]) {
+				a.falsePositives.Add(1)
+				return false
+			}
+		}
+		return true
+	}
+	// Approximate mode: only the sampled byte positions participate in
+	// the key, so only they are verified.
+	for i, in := range ins {
+		if in.Kind() != e.Ins[i].Kind() || in.NumBytes() != e.Ins[i].NumBytes() {
+			a.falsePositives.Add(1)
+			return false
+		}
+	}
+	plan := a.plan(t.Type().ID(), sampling.LayoutOf(ins))
+	for i, offsets := range plan.Segmented(level) {
+		for _, off := range offsets {
+			if ins[i].ByteAt(int(off)) != e.Ins[i].ByteAt(int(off)) {
+				a.falsePositives.Add(1)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FalsePositives reports the number of key matches rejected by the
+// VerifyInputs final check (always zero when verification is off).
+func (a *ATM) FalsePositives() int64 { return a.falsePositives.Load() }
+
+// outputShapesMatch reports whether two output lists are copy-compatible.
+func outputShapesMatch(a, b []region.Region) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind() != b[i].Kind() || a[i].NumElems() != b[i].NumElems() {
+			return false
+		}
+	}
+	return true
+}
+
+// OnReady implements taskrt.Memoizer: Fig. 1's ready-task protocol.
+func (a *ATM) OnReady(t *taskrt.Task, worker int) taskrt.Outcome {
+	ts := a.state(t.Type())
+	tracer := a.rt.Tracer()
+
+	ts.mu.Lock()
+	ts.tasks++
+	ph, level := ts.phase, ts.level
+	if a.cfg.Mode == ModeDynamic {
+		for _, o := range t.Outputs() {
+			if ts.excluded[o] {
+				ts.excludedSkips++
+				ts.executed++
+				ts.mu.Unlock()
+				return taskrt.OutcomeRun // chaotic output: never memoize
+			}
+		}
+	}
+	ts.mu.Unlock()
+
+	tracer.SetState(worker, trace.StateHash)
+	h0 := time.Now()
+	key := a.HashKey(t, level)
+	hashNanos := time.Since(h0).Nanoseconds()
+	sc := &scratch{key: key, level: int8(level)}
+	if a.cfg.VerifyInputs {
+		sc.insSnap = make([]region.Region, len(t.Inputs()))
+		for i, in := range t.Inputs() {
+			sc.insSnap[i] = in.Clone()
+		}
+	}
+	t.MemoScratch = sc
+
+	if ph == phaseTraining {
+		// Training: memoization is only emulated; the task always runs
+		// so τ can be measured against the stored outputs (§III-D).
+		if e := a.tht.Lookup(t.Type().ID(), key, sc.level); e != nil && outputShapesMatch(e.Outs, t.Outputs()) {
+			sc.trainEntry = e
+		}
+		ts.mu.Lock()
+		ts.hashNanos += hashNanos
+		ts.executed++
+		ts.mu.Unlock()
+		return taskrt.OutcomeRun
+	}
+
+	// Steady state (or static / fixed-p from the start).
+	if e := a.tht.Lookup(t.Type().ID(), key, sc.level); e != nil && outputShapesMatch(e.Outs, t.Outputs()) &&
+		a.verifyHit(e, t, level) {
+		tracer.SetState(worker, trace.StateMemo)
+		c0 := time.Now()
+		for i, o := range t.Outputs() {
+			o.CopyFrom(e.Outs[i])
+		}
+		copyNanos := time.Since(c0).Nanoseconds()
+		ts.mu.Lock()
+		ts.memoTHT++
+		ts.hashNanos += hashNanos
+		ts.copyNanos += copyNanos
+		ts.mu.Unlock()
+		tracer.Reuse(e.ProviderID, t.ID(), level < sampling.MaxPLevel, false)
+		t.MemoScratch = nil
+		return taskrt.OutcomeMemoized
+	}
+
+	if !a.cfg.DisableIKT {
+		ik := iktKey{typeID: t.Type().ID(), key: key, level: sc.level}
+		inserted, deferred := a.ikt.Acquire(ik, t)
+		if deferred {
+			ts.mu.Lock()
+			ts.memoIKT++
+			ts.hashNanos += hashNanos
+			ts.mu.Unlock()
+			t.MemoScratch = nil
+			return taskrt.OutcomeDeferred
+		}
+		sc.inIKT = inserted
+		sc.iktKey = ik
+	}
+	ts.mu.Lock()
+	ts.executed++
+	ts.hashNanos += hashNanos
+	ts.mu.Unlock()
+	return taskrt.OutcomeRun
+}
+
+// OnFinished implements taskrt.Memoizer: Fig. 1's updateTHT&IKT() path,
+// plus dynamic ATM's training-phase grading.
+func (a *ATM) OnFinished(t *taskrt.Task, worker int) {
+	sc, _ := t.MemoScratch.(*scratch)
+	t.MemoScratch = nil
+	if sc == nil {
+		return // excluded-output task: not memoized, not recorded
+	}
+	ts := a.state(t.Type())
+	tracer := a.rt.Tracer()
+
+	if sc.trainEntry != nil {
+		a.grade(t, ts, sc)
+		return
+	}
+
+	// Snapshot outputs into the THT.
+	tracer.SetState(worker, trace.StateMemo)
+	c0 := time.Now()
+	outs := make([]region.Region, len(t.Outputs()))
+	for i, o := range t.Outputs() {
+		outs[i] = o.Clone()
+	}
+	a.tht.Insert(&Entry{
+		TypeID:     t.Type().ID(),
+		Key:        sc.key,
+		Level:      sc.level,
+		ProviderID: t.ID(),
+		Outs:       outs,
+		Ins:        sc.insSnap,
+	})
+	copyNanos := time.Since(c0).Nanoseconds()
+	ts.mu.Lock()
+	ts.copyNanos += copyNanos
+	ts.mu.Unlock()
+
+	// Serve postponed copies (IKT waiters) and complete them.
+	if sc.inIKT {
+		waiters := a.ikt.Release(sc.iktKey, t)
+		for _, w := range waiters {
+			for i, o := range w.Outputs() {
+				o.CopyFrom(t.Outputs()[i])
+			}
+			tracer.Reuse(t.ID(), w.ID(), int(sc.level) < sampling.MaxPLevel, true)
+			a.rt.CompleteExternal(w)
+		}
+	}
+}
+
+// grade measures a training-phase approximation: the task executed, so its
+// fresh outputs are the ground truth against the THT entry's prediction.
+func (a *ATM) grade(t *taskrt.Task, ts *typeState, sc *scratch) {
+	tau := metrics.Chebyshev(t.Outputs(), sc.trainEntry.Outs)
+	tauMax := t.Type().TauMax()
+
+	ts.mu.Lock()
+	if ts.phase != phaseTraining || int(sc.level) != ts.level {
+		// The level moved while this task was in flight; its grade is
+		// stale. Count it as a hit observation only.
+		ts.trainHits++
+		ts.mu.Unlock()
+		return
+	}
+	ts.trainHits++
+	if tau >= tauMax {
+		ts.trainFailures++
+		alreadyChaotic := true
+		for _, o := range t.Outputs() {
+			if !ts.excluded[o] {
+				alreadyChaotic = false
+			}
+			ts.failCount[o]++
+			if ts.failCount[o] >= excludeAfter {
+				ts.excluded[o] = true
+			}
+		}
+		// Failures on already-excluded (chaotic) outputs must not keep
+		// doubling p: raising it would not stabilize them (§III-D's
+		// rationale for the exclusion set).
+		if !alreadyChaotic && ts.level < sampling.MaxPLevel {
+			ts.level++ // double p
+			ts.successes = 0
+		}
+		ts.mu.Unlock()
+		// Refresh the stale prediction with the true outputs.
+		outs := make([]region.Region, len(t.Outputs()))
+		for i, o := range t.Outputs() {
+			outs[i] = o.Clone()
+		}
+		a.tht.Insert(&Entry{
+			TypeID: t.Type().ID(), Key: sc.key, Level: sc.level,
+			ProviderID: t.ID(), Outs: outs, Ins: sc.insSnap,
+		})
+		return
+	}
+	ts.successes++
+	if ts.successes >= t.Type().LTraining() {
+		ts.phase = phaseSteady
+	}
+	ts.mu.Unlock()
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"atm/internal/region"
+	"atm/internal/taskrt"
+)
+
+// mkTask builds a detached task-like value through a throwaway runtime so
+// the IKT can inspect its outputs.
+func mkTask(t *testing.T, outElems int) *taskrt.Task {
+	t.Helper()
+	rt := taskrt.New(taskrt.Config{Workers: 1})
+	defer rt.Close()
+	var captured *taskrt.Task
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "x", Run: func(task *taskrt.Task) { captured = task }})
+	rt.Submit(tt, taskrt.Out(region.NewFloat64(outElems)))
+	rt.Wait()
+	return captured
+}
+
+func TestIKTAcquireRelease(t *testing.T) {
+	k := NewIKT(4)
+	key := iktKey{typeID: 1, key: 42, level: 15}
+	p := mkTask(t, 3)
+
+	inserted, deferred := k.Acquire(key, p)
+	if !inserted || deferred {
+		t.Fatalf("first acquire must insert: %v %v", inserted, deferred)
+	}
+
+	w1, w2 := mkTask(t, 3), mkTask(t, 3)
+	if ins, def := k.Acquire(key, w1); ins || !def {
+		t.Fatal("second acquire must defer")
+	}
+	if ins, def := k.Acquire(key, w2); ins || !def {
+		t.Fatal("multiple waiters must be accepted (the paper allows many A-like tasks per in-flight B)")
+	}
+
+	ws := k.Release(key, p)
+	if len(ws) != 2 {
+		t.Fatalf("waiters=%d", len(ws))
+	}
+	// Key is gone: a new acquire inserts again.
+	if ins, _ := k.Acquire(key, p); !ins {
+		t.Fatal("released key must be reusable")
+	}
+}
+
+func TestIKTShapeMismatchExecutes(t *testing.T) {
+	k := NewIKT(4)
+	key := iktKey{typeID: 1, key: 7, level: 15}
+	p := mkTask(t, 3)
+	other := mkTask(t, 5) // different output shape
+	k.Acquire(key, p)
+	if ins, def := k.Acquire(key, other); ins || def {
+		t.Fatal("shape-mismatched task must just execute")
+	}
+}
+
+func TestIKTCapacityBound(t *testing.T) {
+	// The table stores at most as many keys as threads (§III-A).
+	k := NewIKT(2)
+	a, b, c := mkTask(t, 1), mkTask(t, 1), mkTask(t, 1)
+	k.Acquire(iktKey{key: 1}, a)
+	k.Acquire(iktKey{key: 2}, b)
+	if ins, def := k.Acquire(iktKey{key: 3}, c); ins || def {
+		t.Fatal("full table must reject new providers")
+	}
+	_, _, rejected := k.Counters()
+	if rejected != 1 {
+		t.Fatalf("rejected=%d", rejected)
+	}
+}
+
+func TestIKTReleaseWrongProvider(t *testing.T) {
+	k := NewIKT(2)
+	key := iktKey{key: 5}
+	p, q := mkTask(t, 1), mkTask(t, 1)
+	k.Acquire(key, p)
+	if ws := k.Release(key, q); ws != nil {
+		t.Fatal("a non-provider must not release the key")
+	}
+	if ws := k.Release(iktKey{key: 99}, p); ws != nil {
+		t.Fatal("releasing an absent key must be a no-op")
+	}
+	if ws := k.Release(key, p); ws != nil || len(ws) != 0 {
+		t.Fatal("provider release with no waiters returns empty")
+	}
+}
+
+func TestIKTCounters(t *testing.T) {
+	k := NewIKT(4)
+	p, w := mkTask(t, 1), mkTask(t, 1)
+	key := iktKey{key: 9}
+	k.Acquire(key, p)
+	k.Acquire(key, w)
+	ins, def, rej := k.Counters()
+	if ins != 1 || def != 1 || rej != 0 {
+		t.Fatalf("counters=%d %d %d", ins, def, rej)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"atm/internal/sampling"
+	"atm/internal/taskrt"
+)
+
+// TypeStats is a snapshot of one task type's ATM activity.
+type TypeStats struct {
+	Name string
+	// Tasks is the number of ready tasks of this type seen by ATM.
+	Tasks int64
+	// Executed counts tasks whose body actually ran (including every
+	// training-phase task).
+	Executed int64
+	// MemoizedTHT counts tasks bypassed with outputs copied from the THT.
+	MemoizedTHT int64
+	// MemoizedIKT counts tasks deferred to an in-flight provider.
+	MemoizedIKT int64
+	// TrainingHits / TrainingFailures count graded training
+	// approximations and those whose τ reached τmax.
+	TrainingHits     int64
+	TrainingFailures int64
+	// ExcludedSkips counts steady-state tasks bypassing ATM because an
+	// output region is in the exclusion set.
+	ExcludedSkips int64
+	// Level is the current p level (p = 2^(Level-15)).
+	Level int
+	// P is the corresponding fraction of sampled input bytes.
+	P float64
+	// Steady reports whether the type finished training.
+	Steady bool
+	// ExcludedRegions is the exclusion-set size.
+	ExcludedRegions int
+	// HashTime and CopyTime aggregate ATM overheads on this type.
+	HashTime time.Duration
+	CopyTime time.Duration
+}
+
+// Reuse returns the fraction of tasks bypassed by ATM (the paper's "reuse"
+// metric, §IV-C).
+func (s TypeStats) Reuse() float64 {
+	if s.Tasks == 0 {
+		return 0
+	}
+	return float64(s.MemoizedTHT+s.MemoizedIKT) / float64(s.Tasks)
+}
+
+// Stats is a full ATM snapshot.
+type Stats struct {
+	Types []TypeStats
+	// THTBytes is the table's payload memory (Table III numerator).
+	THTBytes int64
+	// THTEntries is the current entry count.
+	THTEntries int64
+	// THTLookups / THTHits / THTEvictions are table counters.
+	THTLookups, THTHits, THTEvictions int64
+	// IKTInserts / IKTDefers / IKTRejected are in-flight table counters.
+	IKTInserts, IKTDefers, IKTRejected int64
+}
+
+// TotalReuse returns the memoized fraction over all memoizable tasks.
+func (s Stats) TotalReuse() float64 {
+	var memo, tasks int64
+	for _, t := range s.Types {
+		memo += t.MemoizedTHT + t.MemoizedIKT
+		tasks += t.Tasks
+	}
+	if tasks == 0 {
+		return 0
+	}
+	return float64(memo) / float64(tasks)
+}
+
+// Stats snapshots the engine's counters.
+func (a *ATM) Stats() Stats {
+	var st Stats
+	a.typeMu.Lock()
+	ids := make([]int, 0, len(a.types))
+	for id := range a.types {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ts := a.types[id]
+		name := a.names[id]
+		ts.mu.Lock()
+		st.Types = append(st.Types, TypeStats{
+			Name:             name,
+			Tasks:            ts.tasks,
+			Executed:         ts.executed,
+			MemoizedTHT:      ts.memoTHT,
+			MemoizedIKT:      ts.memoIKT,
+			TrainingHits:     ts.trainHits,
+			TrainingFailures: ts.trainFailures,
+			ExcludedSkips:    ts.excludedSkips,
+			Level:            ts.level,
+			P:                sampling.PFromLevel(ts.level),
+			Steady:           ts.phase == phaseSteady,
+			ExcludedRegions:  len(ts.excluded),
+			HashTime:         time.Duration(ts.hashNanos),
+			CopyTime:         time.Duration(ts.copyNanos),
+		})
+		ts.mu.Unlock()
+	}
+	a.typeMu.Unlock()
+
+	st.THTBytes = a.tht.MemoryBytes()
+	st.THTEntries = a.tht.Entries()
+	st.THTLookups, st.THTHits, st.THTEvictions = a.tht.Counters()
+	if a.ikt != nil {
+		st.IKTInserts, st.IKTDefers, st.IKTRejected = a.ikt.Counters()
+	}
+	return st
+}
+
+// ChosenLevel reports the current p level of a task type and whether its
+// training has completed (the star markers of Fig. 5).
+func (a *ATM) ChosenLevel(tt *taskrt.TaskType) (level int, steady bool) {
+	ts := a.state(tt)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.level, ts.phase == phaseSteady
+}
+
+// MemoryBytes reports ATM's extra memory footprint (THT payload).
+func (a *ATM) MemoryBytes() int64 { return a.tht.MemoryBytes() }

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"atm/internal/region"
+)
+
+// Entry is one memoized task execution stored in the Task History Table:
+// the 8-byte hash key of the (sampled) inputs, the percentage level the
+// key was computed at, and a snapshot of the task's outputs. Entries are
+// immutable after insertion, which lets hit paths copy from them without
+// holding the bucket lock.
+type Entry struct {
+	TypeID     int
+	Key        uint64
+	Level      int8
+	ProviderID uint64 // creation id of the task that produced the outputs
+	Outs       []region.Region
+	// Ins snapshots the provider's inputs; populated only when
+	// Config.VerifyInputs is set (the §III-E final-check variant).
+	Ins   []region.Region
+	bytes int64
+}
+
+// THT is the Task History Table of §III-A: 2^N buckets indexed by the low
+// N bits of the hash key, each holding up to M entries with FIFO
+// replacement. Each bucket is protected by its own RWMutex, supporting
+// exclusive writes and parallel reads exactly as the paper describes.
+type THT struct {
+	mask    uint64
+	m       int
+	buckets []thtBucket
+
+	memBytes atomic.Int64
+	entries  atomic.Int64
+	lookups  atomic.Int64
+	hits     atomic.Int64
+	evicts   atomic.Int64
+}
+
+type thtBucket struct {
+	mu      sync.RWMutex
+	entries []*Entry // FIFO: oldest first
+}
+
+// NewTHT builds a THT with 2^nbits buckets of capacity m each. The paper's
+// sizing (§IV-B) is nbits = 8, m = 128.
+func NewTHT(nbits, m int) *THT {
+	if nbits < 0 {
+		nbits = 0
+	}
+	if m <= 0 {
+		m = 1
+	}
+	n := 1 << uint(nbits)
+	return &THT{mask: uint64(n - 1), m: m, buckets: make([]thtBucket, n)}
+}
+
+// Lookup returns the entry matching (typeID, key, level), or nil.
+func (t *THT) Lookup(typeID int, key uint64, level int8) *Entry {
+	t.lookups.Add(1)
+	b := &t.buckets[key&t.mask]
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	// Newest entries are most likely to match; scan back to front.
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		e := b.entries[i]
+		if e.Key == key && e.TypeID == typeID && e.Level == level {
+			t.hits.Add(1)
+			return e
+		}
+	}
+	return nil
+}
+
+// Insert adds e, evicting the bucket's oldest entry if it is full.
+func (t *THT) Insert(e *Entry) {
+	for _, o := range e.Outs {
+		e.bytes += int64(o.NumBytes())
+	}
+	for _, in := range e.Ins {
+		e.bytes += int64(in.NumBytes())
+	}
+	e.bytes += 8 + 8 + 8 // key + provider id + header, the paper's 8-byte key cost
+	b := &t.buckets[e.Key&t.mask]
+	b.mu.Lock()
+	if len(b.entries) >= t.m {
+		old := b.entries[0]
+		copy(b.entries, b.entries[1:])
+		b.entries = b.entries[:len(b.entries)-1]
+		t.memBytes.Add(-old.bytes)
+		t.entries.Add(-1)
+		t.evicts.Add(1)
+	}
+	b.entries = append(b.entries, e)
+	b.mu.Unlock()
+	t.memBytes.Add(e.bytes)
+	t.entries.Add(1)
+}
+
+// MemoryBytes reports the table's current payload size (Table III's
+// numerator).
+func (t *THT) MemoryBytes() int64 { return t.memBytes.Load() }
+
+// Entries reports the current number of stored entries.
+func (t *THT) Entries() int64 { return t.entries.Load() }
+
+// Counters returns (lookups, hits, evictions).
+func (t *THT) Counters() (lookups, hits, evicts int64) {
+	return t.lookups.Load(), t.hits.Load(), t.evicts.Load()
+}

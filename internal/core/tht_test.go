@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"atm/internal/region"
+)
+
+func entryWith(typeID int, key uint64, level int8, vals ...float64) *Entry {
+	return &Entry{
+		TypeID: typeID, Key: key, Level: level,
+		Outs: []region.Region{&region.Float64{Data: vals}},
+	}
+}
+
+func TestTHTInsertLookup(t *testing.T) {
+	tht := NewTHT(4, 8)
+	tht.Insert(entryWith(1, 0xabc, 15, 1, 2, 3))
+	e := tht.Lookup(1, 0xabc, 15)
+	if e == nil || e.Outs[0].Float64At(0) != 1 {
+		t.Fatal("lookup after insert failed")
+	}
+	if tht.Lookup(2, 0xabc, 15) != nil {
+		t.Fatal("type id must participate in matching")
+	}
+	if tht.Lookup(1, 0xabd, 15) != nil {
+		t.Fatal("different keys must miss")
+	}
+	if tht.Lookup(1, 0xabc, 14) != nil {
+		t.Fatal("the p level is stored with the key and must match (§III-D)")
+	}
+}
+
+func TestTHTFIFOEviction(t *testing.T) {
+	// One bucket (nbits=0), capacity 3: inserting 4 entries evicts the
+	// oldest.
+	tht := NewTHT(0, 3)
+	for i := 0; i < 4; i++ {
+		tht.Insert(entryWith(0, uint64(i), 15, float64(i)))
+	}
+	if tht.Lookup(0, 0, 15) != nil {
+		t.Fatal("oldest entry must be evicted first (FIFO)")
+	}
+	for i := 1; i < 4; i++ {
+		if tht.Lookup(0, uint64(i), 15) == nil {
+			t.Fatalf("entry %d wrongly evicted", i)
+		}
+	}
+	if tht.Entries() != 3 {
+		t.Fatalf("entries=%d", tht.Entries())
+	}
+	_, _, ev := tht.Counters()
+	if ev != 1 {
+		t.Fatalf("evictions=%d", ev)
+	}
+}
+
+func TestTHTMemoryAccounting(t *testing.T) {
+	tht := NewTHT(0, 2)
+	tht.Insert(entryWith(0, 1, 15, 1, 2, 3, 4)) // 32 payload + 24 header
+	if got := tht.MemoryBytes(); got != 56 {
+		t.Fatalf("bytes=%d want 56", got)
+	}
+	tht.Insert(entryWith(0, 2, 15, 1))
+	tht.Insert(entryWith(0, 3, 15, 1))
+	// First entry evicted: memory must drop by its 56 bytes.
+	if got := tht.MemoryBytes(); got != 2*(8+24) {
+		t.Fatalf("bytes=%d want %d", got, 2*(8+24))
+	}
+}
+
+func TestTHTBucketSelection(t *testing.T) {
+	// Keys differing only above the low N bits share a bucket and can
+	// both live there; keys in different buckets never interfere.
+	tht := NewTHT(2, 1) // 4 buckets, 1 entry each
+	tht.Insert(entryWith(0, 0b0100, 15, 1))
+	tht.Insert(entryWith(0, 0b1000, 15, 2)) // same bucket 0 -> evicts
+	if tht.Lookup(0, 0b0100, 15) != nil {
+		t.Fatal("bucket-capacity eviction did not happen")
+	}
+	tht.Insert(entryWith(0, 0b0101, 15, 3)) // bucket 1
+	if tht.Lookup(0, 0b1000, 15) == nil || tht.Lookup(0, 0b0101, 15) == nil {
+		t.Fatal("entries in distinct buckets must coexist")
+	}
+}
+
+func TestTHTHitCounters(t *testing.T) {
+	tht := NewTHT(2, 2)
+	tht.Insert(entryWith(0, 9, 15, 1))
+	tht.Lookup(0, 9, 15)
+	tht.Lookup(0, 10, 15)
+	lookups, hits, _ := tht.Counters()
+	if lookups != 2 || hits != 1 {
+		t.Fatalf("lookups=%d hits=%d", lookups, hits)
+	}
+}
+
+func TestTHTNewestFirstLookup(t *testing.T) {
+	// Two entries with the same (type, key, level): the lookup must
+	// return the most recently inserted one.
+	tht := NewTHT(0, 4)
+	tht.Insert(entryWith(0, 7, 15, 1))
+	tht.Insert(entryWith(0, 7, 15, 2))
+	if got := tht.Lookup(0, 7, 15).Outs[0].Float64At(0); got != 2 {
+		t.Fatalf("got %v want newest entry", got)
+	}
+}
+
+func TestTHTQuickInvariant(t *testing.T) {
+	// Property: after any sequence of inserts, (a) no bucket exceeds M,
+	// (b) every lookup that hits returns an entry with a matching
+	// (type, key, level), and (c) memory equals the sum of live entries.
+	f := func(keys []uint16, m uint8) bool {
+		cap := int(m%8) + 1
+		tht := NewTHT(2, cap)
+		for _, k := range keys {
+			tht.Insert(entryWith(int(k%3), uint64(k), int8(k%16), float64(k)))
+		}
+		if int(tht.Entries()) > 4*cap {
+			return false
+		}
+		for _, k := range keys {
+			if e := tht.Lookup(int(k%3), uint64(k), int8(k%16)); e != nil {
+				if e.Key != uint64(k) || e.TypeID != int(k%3) || e.Level != int8(k%16) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTHTConcurrentAccess(t *testing.T) {
+	tht := NewTHT(4, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := uint64(g*1000 + i)
+				tht.Insert(entryWith(0, key, 15, float64(i)))
+				if e := tht.Lookup(0, key, 15); e != nil && e.Key != key {
+					t.Errorf("corrupt entry")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

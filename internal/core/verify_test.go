@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"atm/internal/region"
+	"atm/internal/taskrt"
+)
+
+func TestVerifyInputsAcceptsTrueHits(t *testing.T) {
+	memo := New(Config{Mode: ModeStatic, VerifyInputs: true})
+	rt := taskrt.New(taskrt.Config{Workers: 2, Memoizer: memo})
+	defer rt.Close()
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, Run: doubler})
+
+	in := region.NewFloat64(32)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	for i := 0; i < 8; i++ {
+		rt.Submit(tt, taskrt.In(in), taskrt.Out(region.NewFloat64(32)))
+	}
+	rt.Wait()
+
+	ts := memo.Stats().Types[0]
+	if ts.MemoizedTHT+ts.MemoizedIKT == 0 {
+		t.Fatal("verification must not reject genuine matches")
+	}
+	if memo.FalsePositives() != 0 {
+		t.Fatalf("false positives on identical inputs: %d", memo.FalsePositives())
+	}
+}
+
+func TestVerifyInputsDoublesTHTMemory(t *testing.T) {
+	run := func(verify bool) int64 {
+		memo := New(Config{Mode: ModeStatic, VerifyInputs: verify})
+		rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+		defer rt.Close()
+		tt := rt.RegisterType(taskrt.TypeConfig{Name: "t", Memoize: true, Run: doubler})
+		in := region.NewFloat64(128)
+		rt.Submit(tt, taskrt.In(in), taskrt.Out(region.NewFloat64(128)))
+		rt.Wait()
+		return memo.MemoryBytes()
+	}
+	plain := run(false)
+	verified := run(true)
+	if verified <= plain {
+		t.Fatalf("input snapshots must cost memory: %d vs %d", verified, plain)
+	}
+	// Equal-sized inputs and outputs: verification roughly doubles the
+	// payload (the paper's reason to drop the scheme).
+	if verified < plain+1024-64 {
+		t.Fatalf("expected ~1 KiB extra, got %d vs %d", verified, plain)
+	}
+}
+
+func TestVerifyHitRejectsForgedCollision(t *testing.T) {
+	// Forge a colliding entry by hand: same key, same shapes, different
+	// input contents. verifyHit must reject it and count it.
+	memo := New(Config{Mode: ModeStatic, VerifyInputs: true})
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+	defer rt.Close()
+	memo.BindRuntime(rt)
+
+	var captured *taskrt.Task
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "t", Run: func(task *taskrt.Task) { captured = task }})
+	in := region.NewFloat64(16)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	rt.Submit(tt, taskrt.In(in), taskrt.Out(region.NewFloat64(16)))
+	rt.Wait()
+
+	other := in.Clone()
+	other.(*region.Float64).Data[3] = -99
+	forged := &Entry{
+		TypeID: tt.ID(), Key: 1, Level: 15,
+		Outs: []region.Region{region.NewFloat64(16)},
+		Ins:  []region.Region{other},
+	}
+	if memo.verifyHit(forged, captured, 15) {
+		t.Fatal("verification must reject a forged exact-mode collision")
+	}
+	if memo.FalsePositives() != 1 {
+		t.Fatalf("false positive must be counted: %d", memo.FalsePositives())
+	}
+
+	// Approximate mode: a forged entry differing only outside the
+	// sampled byte set must still be ACCEPTED (only sampled bytes
+	// participate in the key).
+	lowByteTwin := in.Clone()
+	d := lowByteTwin.(*region.Float64).Data
+	for i := range d {
+		if d[i] != 0 {
+			// Flip the lowest mantissa bit: never in the level-0
+			// sample of a type-aware plan over 128 bytes.
+			bits := regionBits(d[i]) ^ 1
+			d[i] = regionFromBits(bits)
+		}
+	}
+	genuine := &Entry{
+		TypeID: tt.ID(), Key: 1, Level: 0,
+		Outs: []region.Region{region.NewFloat64(16)},
+		Ins:  []region.Region{lowByteTwin},
+	}
+	if !memo.verifyHit(genuine, captured, 0) {
+		t.Fatal("approximate verification must only compare sampled bytes")
+	}
+}
+
+func TestVerifyInputsStaticEndToEnd(t *testing.T) {
+	// Whole-app style check: with verification on, static ATM remains
+	// bit-exact and reuse is unchanged relative to the plain engine.
+	mkRun := func(verify bool) (int64, []float64) {
+		memo := New(Config{Mode: ModeStatic, VerifyInputs: verify})
+		rt := taskrt.New(taskrt.Config{Workers: 4, Memoizer: memo})
+		defer rt.Close()
+		tt := rt.RegisterType(taskrt.TypeConfig{Name: "t", Memoize: true, Run: doubler})
+		ins := make([]*region.Float64, 4)
+		for i := range ins {
+			ins[i] = region.NewFloat64(16)
+			for j := range ins[i].Data {
+				ins[i].Data[j] = float64(i*100 + j)
+			}
+		}
+		out := region.NewFloat64(16)
+		for r := 0; r < 10; r++ {
+			for i := range ins {
+				rt.Submit(tt, taskrt.In(ins[i]), taskrt.InOut(out))
+			}
+		}
+		rt.Wait()
+		ts := memo.Stats().Types[0]
+		vals := make([]float64, len(out.Data))
+		copy(vals, out.Data)
+		return ts.MemoizedTHT + ts.MemoizedIKT, vals
+	}
+	reuse1, out1 := mkRun(false)
+	reuse2, out2 := mkRun(true)
+	if reuse1 != reuse2 {
+		t.Fatalf("verification changed reuse: %d vs %d", reuse1, reuse2)
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatal("verification changed results")
+		}
+	}
+}
+
+// regionBits / regionFromBits are tiny local helpers for bit twiddling in
+// tests.
+func regionBits(f float64) uint64     { return math.Float64bits(f) }
+func regionFromBits(u uint64) float64 { return math.Float64frombits(u) }

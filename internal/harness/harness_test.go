@@ -1,0 +1,229 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"atm/internal/apps"
+)
+
+func testOpts(buf *bytes.Buffer, benches ...string) Options {
+	return Options{
+		Scale:      apps.ScaleTest,
+		Workers:    4,
+		Repeats:    1,
+		Benchmarks: benches,
+		Out:        buf,
+	}
+}
+
+func TestFactoryForAllBenchmarks(t *testing.T) {
+	for _, name := range Benchmarks() {
+		if FactoryFor(name) == nil {
+			t.Fatalf("no factory for %q", name)
+		}
+	}
+	if FactoryFor("nope") != nil {
+		t.Fatal("unknown benchmark must return nil")
+	}
+	for _, alias := range []string{"gauss-seidel", "SparseLU", "blackscholes"} {
+		if FactoryFor(alias) == nil {
+			t.Fatalf("alias %q must resolve", alias)
+		}
+	}
+}
+
+func TestSpecNames(t *testing.T) {
+	if Baseline().Name() != "baseline" {
+		t.Fatal("baseline name")
+	}
+	if Static(false).Name() != "Static ATM (THT)" {
+		t.Fatal(Static(false).Name())
+	}
+	if Dynamic(true).Name() != "Dynamic ATM (THT+IKT)" {
+		t.Fatal(Dynamic(true).Name())
+	}
+	if !strings.Contains(Fixed(3, true).Name(), "Fixed-p") {
+		t.Fatal(Fixed(3, true).Name())
+	}
+}
+
+func TestRunOneBaselineVsStatic(t *testing.T) {
+	f := FactoryFor("Blackscholes")
+	base := RunOne(f, apps.ScaleTest, 2, Baseline(), RunOptions{})
+	if base.Elapsed <= 0 {
+		t.Fatal("elapsed must be positive")
+	}
+	if len(base.Stats.Types) != 0 {
+		t.Fatal("baseline must carry no ATM stats")
+	}
+	st := RunOne(f, apps.ScaleTest, 2, Static(true), RunOptions{})
+	if st.Reuse() <= 0 {
+		t.Fatal("static ATM must find reuse in Blackscholes")
+	}
+	if c := st.App.Correctness(base.App); c < 99.999 {
+		t.Fatalf("static correctness=%v", c)
+	}
+	if st.ATMMemory <= 0 {
+		t.Fatal("ATM memory must be accounted")
+	}
+	if sp := Speedup(base, st); sp <= 0 {
+		t.Fatalf("speedup=%v", sp)
+	}
+}
+
+func TestRunMedianPicksMiddle(t *testing.T) {
+	f := FactoryFor("Kmeans")
+	o := RunMedian(f, apps.ScaleTest, 2, Baseline(), RunOptions{}, 3)
+	if o.Elapsed <= 0 {
+		t.Fatal("median run must be measured")
+	}
+}
+
+func TestOracleAlwaysFindsFullP(t *testing.T) {
+	f := FactoryFor("LU")
+	ref := RunOne(f, apps.ScaleTest, 2, Baseline(), RunOptions{})
+	or := Oracle(f, apps.ScaleTest, 2, ref, 99.99, true, RunOptions{}, 1)
+	if !or.Found {
+		t.Fatal("oracle must at least find p=100%")
+	}
+	if or.Correctness < 99.99 {
+		t.Fatalf("oracle correctness=%v", or.Correctness)
+	}
+}
+
+func TestChosenLevelsExposed(t *testing.T) {
+	o := RunOne(FactoryFor("Kmeans"), apps.ScaleTest, 2, Dynamic(true), RunOptions{})
+	if len(o.ChosenLevels) == 0 {
+		t.Fatal("dynamic run must expose chosen levels")
+	}
+	for name, level := range o.ChosenLevels {
+		if name == "" || level < 0 || level > 15 {
+			t.Fatalf("bad chosen level %q=%d", name, level)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean=%v", g)
+	}
+	if geomean(nil) != 0 || geomean([]float64{0, -1}) != 0 {
+		t.Fatal("degenerate geomeans must be 0")
+	}
+}
+
+func TestPLabel(t *testing.T) {
+	if pLabel(15) != "100%" {
+		t.Fatal(pLabel(15))
+	}
+	if pLabel(0) != "2^-15*100%" {
+		t.Fatal(pLabel(0))
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if fx(1.5) != "1.50x" || fpct(12.345) != "12.35%" {
+		t.Fatal("formatters")
+	}
+	if !strings.Contains(fbytes(2<<20), "MiB") || !strings.Contains(fbytes(100), "B") {
+		t.Fatal("byte formatter")
+	}
+	if !strings.Contains(fbytes(3<<30), "GiB") || !strings.Contains(fbytes(5<<10), "KiB") {
+		t.Fatal("byte formatter units")
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(testOpts(&buf, "Blackscholes"))
+	out := buf.String()
+	for _, want := range []string{"Table I", "bs_thread", "Prices Vector"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(testOpts(&buf))
+	out := buf.String()
+	for _, want := range []string{"Jacobi", "150", "20%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table3(testOpts(&buf, "Kmeans"))
+	if !strings.Contains(buf.String(), "Overhead") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestFig5Output(t *testing.T) {
+	var buf bytes.Buffer
+	Fig5(testOpts(&buf, "Kmeans"))
+	out := buf.String()
+	if !strings.Contains(out, "dynamic ATM chose p") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "2^-15*100%") || !strings.Contains(out, "100%") {
+		t.Fatal("must sweep all 16 levels")
+	}
+}
+
+func TestFig9Output(t *testing.T) {
+	var buf bytes.Buffer
+	Fig9(testOpts(&buf, "Blackscholes"))
+	if !strings.Contains(buf.String(), "reuse") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestFig7And8RunAtTestScale(t *testing.T) {
+	var buf bytes.Buffer
+	opt := testOpts(&buf)
+	opt.Workers = 4
+	Fig7(opt)
+	if !strings.Contains(buf.String(), "Core 1") {
+		t.Fatalf("fig7 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	Fig8(opt)
+	if !strings.Contains(buf.String(), "ready tasks") {
+		t.Fatalf("fig8 output:\n%s", buf.String())
+	}
+}
+
+func TestEvalMatrixSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep in -short mode")
+	}
+	opt := testOpts(&bytes.Buffer{})
+	r := evalMatrix("Kmeans", opt)
+	if r.baseline.Elapsed <= 0 {
+		t.Fatal("baseline missing")
+	}
+	if !r.oracle100.Found || !r.oracle95.Found {
+		t.Fatal("oracles must find a config")
+	}
+	if r.corrStatic < 99.9 {
+		t.Fatalf("static ATM must be exact: %v", r.corrStatic)
+	}
+	if r.oracle95.Correctness < 95 {
+		t.Fatalf("oracle95 bound violated: %v", r.oracle95.Correctness)
+	}
+}
+
+func TestStateShare(t *testing.T) {
+	if stateShare(make([]time.Duration, 6)) != "-" {
+		t.Fatal("zero durations must render as '-'")
+	}
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// table is a tiny text-table builder on top of tabwriter.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(out io.Writer) *table {
+	return &table{w: tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.w, strings.Join(cells, "\t"))
+}
+
+func (t *table) rowf(format string, args ...any) {
+	fmt.Fprintf(t.w, format+"\n", args...)
+}
+
+func (t *table) flush() { _ = t.w.Flush() }
+
+// geomean returns the geometric mean of xs (ignoring non-positives).
+func geomean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// fx formats a speedup factor.
+func fx(x float64) string { return fmt.Sprintf("%.2fx", x) }
+
+// fpct formats a percentage.
+func fpct(x float64) string { return fmt.Sprintf("%.2f%%", x) }
+
+// fbytes formats a byte count in human units.
+func fbytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// pLabel renders a p level as the paper writes it (2^-k·100% or 100%).
+func pLabel(level int) string {
+	if level >= 15 {
+		return "100%"
+	}
+	return fmt.Sprintf("2^-%d*100%%", 15-level)
+}

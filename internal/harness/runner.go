@@ -1,0 +1,208 @@
+// Package harness runs the paper's evaluation (§IV–§V): it executes every
+// benchmark under the baseline runtime and under ATM configurations, and
+// regenerates each table and figure of the paper from the measurements.
+package harness
+
+import (
+	"sort"
+	"time"
+
+	"atm/internal/apps"
+	"atm/internal/apps/blackscholes"
+	"atm/internal/apps/kmeans"
+	"atm/internal/apps/sparselu"
+	"atm/internal/apps/stencil"
+	"atm/internal/apps/swaptions"
+	"atm/internal/core"
+	"atm/internal/taskrt"
+	"atm/internal/trace"
+)
+
+// Benchmarks lists the evaluated applications in Table I order.
+func Benchmarks() []string {
+	return []string{"Blackscholes", "GS", "Jacobi", "Kmeans", "LU", "Swaptions"}
+}
+
+// FactoryFor returns the workload factory for a Table I benchmark name
+// (short names "GS"/"Gauss-Seidel" both accepted), or nil.
+func FactoryFor(name string) apps.Factory {
+	switch name {
+	case "Blackscholes", "blackscholes":
+		return blackscholes.Factory
+	case "GS", "Gauss-Seidel", "gs", "gauss-seidel":
+		return stencil.Factory(stencil.GaussSeidel)
+	case "Jacobi", "jacobi":
+		return stencil.Factory(stencil.Jacobi)
+	case "Kmeans", "kmeans":
+		return kmeans.Factory
+	case "LU", "lu", "SparseLU", "sparselu":
+		return sparselu.Factory
+	case "Swaptions", "swaptions":
+		return swaptions.Factory
+	default:
+		return nil
+	}
+}
+
+// ATMSpec describes one ATM configuration of the evaluation matrix.
+type ATMSpec struct {
+	// Enabled false means the plain baseline runtime (no ATM).
+	Enabled bool
+	// Mode is the ATM operating mode.
+	Mode core.Mode
+	// Level is the p level for core.ModeFixed.
+	Level int
+	// IKT enables the In-flight Key Table.
+	IKT bool
+}
+
+// Baseline is the no-ATM configuration.
+func Baseline() ATMSpec { return ATMSpec{} }
+
+// Static returns static ATM (p = 100%).
+func Static(ikt bool) ATMSpec { return ATMSpec{Enabled: true, Mode: core.ModeStatic, IKT: ikt} }
+
+// Dynamic returns dynamic ATM.
+func Dynamic(ikt bool) ATMSpec { return ATMSpec{Enabled: true, Mode: core.ModeDynamic, IKT: ikt} }
+
+// Fixed returns constant-p ATM at the given level.
+func Fixed(level int, ikt bool) ATMSpec {
+	return ATMSpec{Enabled: true, Mode: core.ModeFixed, Level: level, IKT: ikt}
+}
+
+// Name renders the spec like the paper's legends.
+func (s ATMSpec) Name() string {
+	if !s.Enabled {
+		return "baseline"
+	}
+	tail := " (THT)"
+	if s.IKT {
+		tail = " (THT+IKT)"
+	}
+	switch s.Mode {
+	case core.ModeStatic:
+		return "Static ATM" + tail
+	case core.ModeDynamic:
+		return "Dynamic ATM" + tail
+	default:
+		return "Fixed-p ATM" + tail
+	}
+}
+
+// Outcome is one measured run.
+type Outcome struct {
+	App     apps.App
+	Spec    ATMSpec
+	Workers int
+	Elapsed time.Duration
+	// Stats is the ATM snapshot (zero value for baseline runs).
+	Stats core.Stats
+	// ChosenLevels maps memoized type names to their final p level.
+	ChosenLevels map[string]int
+	// Tracer is non-nil when the run was traced.
+	Tracer *trace.Tracer
+	// ATMMemory is the THT payload in bytes at the end of the run.
+	ATMMemory int64
+}
+
+// Reuse returns the run's overall memoized-task fraction.
+func (o Outcome) Reuse() float64 { return o.Stats.TotalReuse() }
+
+// RunOptions tune a single run.
+type RunOptions struct {
+	// Detail enables full interval tracing (needed for Figs. 7/8).
+	Detail bool
+	// Trace enables the tracer at all (reuse logs for Fig. 9). When
+	// Detail is set, Trace is implied.
+	Trace bool
+	// Seed perturbs ATM's shuffle plans.
+	Seed uint64
+}
+
+// RunOne builds a fresh workload and executes it once under the spec.
+// Workload construction is excluded from the timing; the measured window
+// covers task submission, execution and the final taskwait — the same
+// window as the paper's equation 2.
+func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, opt RunOptions) Outcome {
+	app := factory(scale)
+
+	var tr *trace.Tracer
+	if opt.Trace || opt.Detail {
+		tr = trace.New(workers, opt.Detail)
+	}
+	var memo *core.ATM
+	var m taskrt.Memoizer
+	if spec.Enabled {
+		memo = core.New(core.Config{Mode: spec.Mode, FixedLevel: spec.Level, DisableIKT: !spec.IKT, Seed: opt.Seed})
+		m = memo
+	}
+	rt := taskrt.New(taskrt.Config{Workers: workers, Memoizer: m, Tracer: tr})
+
+	start := time.Now()
+	app.Run(rt)
+	elapsed := time.Since(start)
+	rt.Close()
+
+	out := Outcome{App: app, Spec: spec, Workers: workers, Elapsed: elapsed, Tracer: tr}
+	if memo != nil {
+		out.Stats = memo.Stats()
+		out.ATMMemory = memo.MemoryBytes()
+		out.ChosenLevels = map[string]int{}
+		for _, ts := range out.Stats.Types {
+			out.ChosenLevels[ts.Name] = ts.Level
+		}
+	}
+	return out
+}
+
+// RunMedian runs the spec `repeats` times and returns the run with the
+// median elapsed time (workloads are deterministic, so any run's outputs
+// are representative; the median de-noises the timing).
+func RunMedian(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, opt RunOptions, repeats int) Outcome {
+	if repeats < 1 {
+		repeats = 1
+	}
+	outs := make([]Outcome, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		outs = append(outs, RunOne(factory, scale, workers, spec, opt))
+	}
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Elapsed < outs[j].Elapsed })
+	return outs[len(outs)/2]
+}
+
+// Speedup computes equation 2: baseline time over ATM time.
+func Speedup(baseline, atm Outcome) float64 {
+	if atm.Elapsed <= 0 {
+		return 0
+	}
+	return float64(baseline.Elapsed) / float64(atm.Elapsed)
+}
+
+// OracleResult is the outcome of an offline oracle sweep (§V-A): the
+// fastest constant-p configuration whose final correctness meets a bound.
+type OracleResult struct {
+	Level       int
+	Outcome     Outcome
+	Correctness float64
+	Found       bool
+}
+
+// Oracle sweeps all 16 p levels with constant-p ATM and returns the
+// fastest configuration whose correctness (against ref) is at least
+// minCorrectness percent. Level 15 (p = 100%) always qualifies, matching
+// the paper's Oracle(100%) ⊆ Oracle(95%) containment.
+func Oracle(factory apps.Factory, scale apps.Scale, workers int, ref Outcome,
+	minCorrectness float64, ikt bool, opt RunOptions, repeats int) OracleResult {
+	best := OracleResult{}
+	for level := 0; level <= 15; level++ {
+		o := RunMedian(factory, scale, workers, Fixed(level, ikt), opt, repeats)
+		c := o.App.Correctness(ref.App)
+		if c < minCorrectness {
+			continue
+		}
+		if !best.Found || o.Elapsed < best.Outcome.Elapsed {
+			best = OracleResult{Level: level, Outcome: o, Correctness: c, Found: true}
+		}
+	}
+	return best
+}

@@ -1,0 +1,288 @@
+// Package jenkins implements Bob Jenkins' hash functions used by ATM to
+// build task hash keys: the lookup3 family (hashlittle2, giving 64 bits of
+// hash state) and the classic one-at-a-time hash.
+//
+// The paper ("ATM: Approximate Task Memoization in the Runtime System",
+// IPDPS 2017, §III-B) generates an 8-byte key per task from a sampled
+// subset of the task's input bytes using "a hash key generator [Jenkins],
+// which is known to give a collision once in 2^32".
+package jenkins
+
+// rot rotates x left by k bits.
+func rot(x uint32, k uint) uint32 { return x<<k | x>>(32-k) }
+
+// mix mixes three 32-bit values reversibly (lookup3 mix()).
+func mix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= c
+	a ^= rot(c, 4)
+	c += b
+	b -= a
+	b ^= rot(a, 6)
+	a += c
+	c -= b
+	c ^= rot(b, 8)
+	b += a
+	a -= c
+	a ^= rot(c, 16)
+	c += b
+	b -= a
+	b ^= rot(a, 19)
+	a += c
+	c -= b
+	c ^= rot(b, 4)
+	b += a
+	return a, b, c
+}
+
+// final forces all bits of c to avalanche (lookup3 final()).
+func final(a, b, c uint32) (uint32, uint32, uint32) {
+	c ^= b
+	c -= rot(b, 14)
+	a ^= c
+	a -= rot(c, 11)
+	b ^= a
+	b -= rot(a, 25)
+	c ^= b
+	c -= rot(b, 16)
+	a ^= c
+	a -= rot(c, 4)
+	b ^= a
+	b -= rot(a, 14)
+	c ^= b
+	c -= rot(b, 24)
+	return a, b, c
+}
+
+// HashLittle2 is Jenkins' lookup3 hashlittle2: it hashes key and returns
+// two 32-bit values. pc and pb seed the two results; (pc, pb) == (0, 0)
+// yields the canonical hash.
+//
+// This is a byte-slice port of the word-at-a-time C original. Because Go
+// does not allow reading past the end of a slice, the tail is assembled
+// byte by byte; the resulting hash values equal the C implementation's
+// "not aligned" path.
+func HashLittle2(key []byte, pc, pb uint32) (uint32, uint32) {
+	length := len(key)
+	a := uint32(0xdeadbeef) + uint32(length) + pc
+	b := a
+	c := a + pb
+
+	k := key
+	for len(k) > 12 {
+		a += le32(k[0:4])
+		b += le32(k[4:8])
+		c += le32(k[8:12])
+		a, b, c = mix(a, b, c)
+		k = k[12:]
+	}
+
+	// Last block: affect all of (a, b, c).
+	switch len(k) {
+	case 12:
+		c += le32(k[8:12])
+		b += le32(k[4:8])
+		a += le32(k[0:4])
+	case 11:
+		c += uint32(k[10]) << 16
+		fallthrough
+	case 10:
+		c += uint32(k[9]) << 8
+		fallthrough
+	case 9:
+		c += uint32(k[8])
+		fallthrough
+	case 8:
+		b += le32(k[4:8])
+		a += le32(k[0:4])
+	case 7:
+		b += uint32(k[6]) << 16
+		fallthrough
+	case 6:
+		b += uint32(k[5]) << 8
+		fallthrough
+	case 5:
+		b += uint32(k[4])
+		fallthrough
+	case 4:
+		a += le32(k[0:4])
+	case 3:
+		a += uint32(k[2]) << 16
+		fallthrough
+	case 2:
+		a += uint32(k[1]) << 8
+		fallthrough
+	case 1:
+		a += uint32(k[0])
+	case 0:
+		return c, b // zero-length strings require no mixing
+	}
+
+	a, b, c = final(a, b, c)
+	return c, b
+}
+
+func le32(p []byte) uint32 {
+	_ = p[3]
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+// Hash64 returns a 64-bit hash of key built from the two lookup3 results,
+// seeded with seed. ATM stores this 8-byte value in the THT and IKT.
+func Hash64(key []byte, seed uint64) uint64 {
+	c, b := HashLittle2(key, uint32(seed), uint32(seed>>32))
+	return uint64(c) | uint64(b)<<32
+}
+
+// OneAtATime is Jenkins' one-at-a-time hash, kept as the cheap secondary
+// hash (bucket index dispersal) and for tests.
+func OneAtATime(key []byte) uint32 {
+	var h uint32
+	for _, c := range key {
+		h += uint32(c)
+		h += h << 10
+		h ^= h >> 6
+	}
+	h += h << 3
+	h ^= h >> 11
+	h += h << 15
+	return h
+}
+
+// Streaming computes a 64-bit Jenkins-style hash incrementally without
+// materializing the whole sampled-byte vector. Bytes are buffered in
+// 12-byte lookup3 blocks and mixed with lookup3's mix/final rounds.
+//
+// Because lookup3 folds the total input length into its *initial* state —
+// unknowable while streaming — Streaming folds the length at finalization
+// instead. Its values therefore differ from Hash64 but share its mixing
+// quality; the function is deterministic and self-consistent, which is all
+// ATM requires of a key.
+type Streaming struct {
+	a, b, c uint32
+	buf     [12]byte
+	n       int  // bytes in buf
+	total   int  // total bytes written
+	started bool // at least one full block mixed
+	seed    uint64
+}
+
+// NewStreaming returns a streaming hasher with the given seed.
+func NewStreaming(seed uint64) *Streaming {
+	s := &Streaming{seed: seed}
+	s.Reset()
+	return s
+}
+
+// Reset restores the hasher to its initial (empty) state.
+func (s *Streaming) Reset() {
+	s.n = 0
+	s.total = 0
+	s.started = false
+}
+
+// WriteByte adds one byte to the hash stream. It never fails.
+func (s *Streaming) WriteByte(x byte) error {
+	s.buf[s.n] = x
+	s.n++
+	s.total++
+	if s.n == 12 {
+		s.flushFull()
+	}
+	return nil
+}
+
+// Write adds p to the hash stream. It never fails.
+func (s *Streaming) Write(p []byte) (int, error) {
+	for _, x := range p {
+		_ = s.WriteByte(x)
+	}
+	return len(p), nil
+}
+
+// WriteUint32 adds u's 4 little-endian bytes. It is the bulk fast path
+// used when hashing whole regions element-wise (p = 100%): identical
+// stream, far fewer calls than 4 WriteByte invocations.
+func (s *Streaming) WriteUint32(u uint32) {
+	if s.n <= 8 {
+		s.buf[s.n] = byte(u)
+		s.buf[s.n+1] = byte(u >> 8)
+		s.buf[s.n+2] = byte(u >> 16)
+		s.buf[s.n+3] = byte(u >> 24)
+		s.n += 4
+		s.total += 4
+		if s.n == 12 {
+			s.flushFull()
+		}
+		return
+	}
+	_ = s.WriteByte(byte(u))
+	_ = s.WriteByte(byte(u >> 8))
+	_ = s.WriteByte(byte(u >> 16))
+	_ = s.WriteByte(byte(u >> 24))
+}
+
+// WriteUint64 adds u's 8 little-endian bytes (see WriteUint32).
+func (s *Streaming) WriteUint64(u uint64) {
+	if s.n <= 4 {
+		s.buf[s.n] = byte(u)
+		s.buf[s.n+1] = byte(u >> 8)
+		s.buf[s.n+2] = byte(u >> 16)
+		s.buf[s.n+3] = byte(u >> 24)
+		s.buf[s.n+4] = byte(u >> 32)
+		s.buf[s.n+5] = byte(u >> 40)
+		s.buf[s.n+6] = byte(u >> 48)
+		s.buf[s.n+7] = byte(u >> 56)
+		s.n += 8
+		s.total += 8
+		if s.n == 12 {
+			s.flushFull()
+		}
+		return
+	}
+	s.WriteUint32(uint32(u))
+	s.WriteUint32(uint32(u >> 32))
+}
+
+func (s *Streaming) flushFull() {
+	if !s.started {
+		s.a = 0xdeadbeef + uint32(s.seed)
+		s.b = s.a
+		s.c = s.a + uint32(s.seed>>32)
+		s.started = true
+	}
+	s.a += le32(s.buf[0:4])
+	s.b += le32(s.buf[4:8])
+	s.c += le32(s.buf[8:12])
+	s.a, s.b, s.c = mix(s.a, s.b, s.c)
+	s.n = 0
+}
+
+// Sum64 finalizes and returns the 64-bit hash of everything written so
+// far. The hasher may continue to be used; Sum64 does not consume state.
+func (s *Streaming) Sum64() uint64 {
+	a, b, c := s.a, s.b, s.c
+	if !s.started {
+		a = 0xdeadbeef + uint32(s.seed)
+		b = a
+		c = a + uint32(s.seed>>32)
+	}
+	// Fold the total length at the end (deviates from lookup3's
+	// front-loaded length, which is impossible to know when streaming).
+	a += uint32(s.total)
+	if s.n == 0 && s.total > 0 {
+		a, b, c = final(a, b, c)
+		return uint64(c) | uint64(b)<<32
+	}
+	for i := 0; i < s.n; i++ {
+		switch {
+		case i < 4:
+			a += uint32(s.buf[i]) << (8 * uint(i))
+		case i < 8:
+			b += uint32(s.buf[i]) << (8 * uint(i-4))
+		default:
+			c += uint32(s.buf[i]) << (8 * uint(i-8))
+		}
+	}
+	a, b, c = final(a, b, c)
+	return uint64(c) | uint64(b)<<32
+}

@@ -1,0 +1,211 @@
+package jenkins
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashLittle2EmptyIsDeadbeef(t *testing.T) {
+	// lookup3.c documents that zero-length input with zero seeds yields
+	// 0xdeadbeef in both words.
+	c, b := HashLittle2(nil, 0, 0)
+	if c != 0xdeadbeef || b != 0xdeadbeef {
+		t.Fatalf("HashLittle2(nil) = %#x, %#x; want 0xdeadbeef twice", c, b)
+	}
+}
+
+func TestHashLittle2EmptySeeded(t *testing.T) {
+	c, b := HashLittle2(nil, 1, 2)
+	if c == 0xdeadbeef && b == 0xdeadbeef {
+		t.Fatal("seeds must perturb the empty hash")
+	}
+}
+
+func TestHashLittle2Deterministic(t *testing.T) {
+	f := func(key []byte, pc, pb uint32) bool {
+		c1, b1 := HashLittle2(key, pc, pb)
+		c2, b2 := HashLittle2(key, pc, pb)
+		return c1 == c2 && b1 == b2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashLittle2AllTailLengths(t *testing.T) {
+	// Every switch arm of the tail handler must contribute: extending
+	// the input by one byte must change the hash, for every length mod
+	// 12 and across block boundaries.
+	buf := make([]byte, 0, 40)
+	seen := map[uint64]int{}
+	for n := 0; n <= 40; n++ {
+		h := Hash64(buf[:n], 0)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("lengths %d and %d collide: %#x", prev, n, h)
+		}
+		seen[h] = n
+		buf = append(buf[:n], byte(n*37+1))
+	}
+}
+
+func TestHash64SingleBitAvalanche(t *testing.T) {
+	// Flipping any single input bit must change the 64-bit hash (a weak
+	// but meaningful avalanche check for a table-lookup hash).
+	base := make([]byte, 29)
+	for i := range base {
+		base[i] = byte(i * 13)
+	}
+	h0 := Hash64(base, 7)
+	for i := range base {
+		for bit := 0; bit < 8; bit++ {
+			mut := make([]byte, len(base))
+			copy(mut, base)
+			mut[i] ^= 1 << uint(bit)
+			if Hash64(mut, 7) == h0 {
+				t.Fatalf("flipping byte %d bit %d left the hash unchanged", i, bit)
+			}
+		}
+	}
+}
+
+func TestHash64SeedSeparation(t *testing.T) {
+	key := []byte("approximate task memoization")
+	if Hash64(key, 1) == Hash64(key, 2) {
+		t.Fatal("different seeds must give different hashes")
+	}
+}
+
+func TestOneAtATimeDistinguishes(t *testing.T) {
+	seen := map[uint32][]byte{}
+	for i := 0; i < 1000; i++ {
+		key := []byte{byte(i), byte(i >> 8), byte(i * 7)}
+		h := OneAtATime(key)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision between %v and %v", prev, key)
+		}
+		seen[h] = key
+	}
+}
+
+func TestStreamingMatchesByteAtATime(t *testing.T) {
+	// WriteUint32/WriteUint64 must produce the same stream as the
+	// equivalent WriteByte sequence.
+	f := func(words []uint32, dwords []uint64, seed uint64) bool {
+		a := NewStreaming(seed)
+		b := NewStreaming(seed)
+		for _, w := range words {
+			a.WriteUint32(w)
+			_ = b.WriteByte(byte(w))
+			_ = b.WriteByte(byte(w >> 8))
+			_ = b.WriteByte(byte(w >> 16))
+			_ = b.WriteByte(byte(w >> 24))
+		}
+		for _, d := range dwords {
+			a.WriteUint64(d)
+			for s := 0; s < 64; s += 8 {
+				_ = b.WriteByte(byte(d >> uint(s)))
+			}
+		}
+		return a.Sum64() == b.Sum64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingWriteMatchesWriteByte(t *testing.T) {
+	f := func(data []byte, seed uint64) bool {
+		a := NewStreaming(seed)
+		_, _ = a.Write(data)
+		b := NewStreaming(seed)
+		for _, x := range data {
+			_ = b.WriteByte(x)
+		}
+		return a.Sum64() == b.Sum64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingSum64IsRepeatable(t *testing.T) {
+	s := NewStreaming(3)
+	_, _ = s.Write([]byte("hello, tasks"))
+	h1 := s.Sum64()
+	h2 := s.Sum64()
+	if h1 != h2 {
+		t.Fatalf("Sum64 consumed state: %#x then %#x", h1, h2)
+	}
+	// Continuing after Sum64 must still work deterministically.
+	_ = s.WriteByte('!')
+	h3 := s.Sum64()
+	s2 := NewStreaming(3)
+	_, _ = s2.Write([]byte("hello, tasks!"))
+	if h3 != s2.Sum64() {
+		t.Fatal("writes after Sum64 diverge from a fresh stream")
+	}
+}
+
+func TestStreamingReset(t *testing.T) {
+	s := NewStreaming(9)
+	_, _ = s.Write([]byte("garbage"))
+	s.Reset()
+	_, _ = s.Write([]byte("abc"))
+	fresh := NewStreaming(9)
+	_, _ = fresh.Write([]byte("abc"))
+	if s.Sum64() != fresh.Sum64() {
+		t.Fatal("Reset must restore the initial state")
+	}
+}
+
+func TestStreamingLengthMatters(t *testing.T) {
+	// "ab" then finalize must differ from "ab\x00": the length fold must
+	// distinguish a written zero byte from absence.
+	a := NewStreaming(0)
+	_, _ = a.Write([]byte{1, 2})
+	b := NewStreaming(0)
+	_, _ = b.Write([]byte{1, 2, 0})
+	if a.Sum64() == b.Sum64() {
+		t.Fatal("trailing zero byte must change the hash")
+	}
+}
+
+func TestStreamingDistribution(t *testing.T) {
+	// Bucketing sequential integers by the low 8 bits of their hash
+	// should roughly balance — the THT relies on low-bit dispersal.
+	const n, buckets = 4096, 256
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		s := NewStreaming(0)
+		s.WriteUint64(uint64(i))
+		counts[s.Sum64()&(buckets-1)]++
+	}
+	for b, c := range counts {
+		if c > 4*n/buckets {
+			t.Fatalf("bucket %d holds %d of %d hashes (poor dispersal)", b, c, n)
+		}
+	}
+}
+
+func BenchmarkHash64_1KiB(b *testing.B) {
+	buf := make([]byte, 1024)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Hash64(buf, 0)
+	}
+}
+
+func BenchmarkStreamingUint64_1KiB(b *testing.B) {
+	b.SetBytes(1024)
+	s := NewStreaming(0)
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for w := 0; w < 128; w++ {
+			s.WriteUint64(uint64(w))
+		}
+		_ = s.Sum64()
+	}
+}

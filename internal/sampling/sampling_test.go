@@ -1,0 +1,244 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"atm/internal/region"
+)
+
+func TestPFromLevelEndpoints(t *testing.T) {
+	if p := PFromLevel(MaxPLevel); p != 1 {
+		t.Fatalf("level 15 must be p=1, got %v", p)
+	}
+	if p := PFromLevel(MinPLevel); p != 1.0/32768 {
+		t.Fatalf("level 0 must be p=2^-15, got %v", p)
+	}
+	// Each level doubles p.
+	for l := MinPLevel; l < MaxPLevel; l++ {
+		if PFromLevel(l+1) != 2*PFromLevel(l) {
+			t.Fatalf("level %d->%d must double p", l, l+1)
+		}
+	}
+	// Out-of-range levels clamp.
+	if PFromLevel(-3) != PFromLevel(MinPLevel) || PFromLevel(99) != 1 {
+		t.Fatal("levels must clamp to [0,15]")
+	}
+}
+
+func mkLayout(f64, f32, i32 int) (Layout, []region.Region) {
+	ins := []region.Region{
+		region.NewFloat64(f64),
+		region.NewFloat32(f32),
+		region.NewInt32(i32),
+	}
+	return LayoutOf(ins), ins
+}
+
+func TestLayoutTotals(t *testing.T) {
+	l, _ := mkLayout(2, 3, 4)
+	if l.TotalBytes() != 16+12+16 {
+		t.Fatalf("TotalBytes=%d", l.TotalBytes())
+	}
+}
+
+func TestLayoutSignature(t *testing.T) {
+	l1, _ := mkLayout(2, 3, 4)
+	l2, _ := mkLayout(2, 3, 4)
+	if l1.Signature() != l2.Signature() {
+		t.Fatal("equal layouts must share a signature")
+	}
+	l3, _ := mkLayout(2, 3, 5)
+	if l1.Signature() == l3.Signature() {
+		t.Fatal("different layouts must (practically) differ")
+	}
+	// Same total size, different element kinds must differ too.
+	a := LayoutOf([]region.Region{region.NewFloat64(4)}) // 32 bytes
+	b := LayoutOf([]region.Region{region.NewFloat32(8)}) // 32 bytes
+	if a.Signature() == b.Signature() {
+		t.Fatal("layouts with different element sizes must differ")
+	}
+}
+
+func isPermutation(order []int32, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, idx := range order {
+		if idx < 0 || int(idx) >= n || seen[idx] {
+			return false
+		}
+		seen[idx] = true
+	}
+	return true
+}
+
+func TestPlanIsPermutation(t *testing.T) {
+	for _, aware := range []bool{false, true} {
+		l, _ := mkLayout(5, 7, 3)
+		p := NewPlan(l, 123, aware)
+		if !isPermutation(p.Order(), l.TotalBytes()) {
+			t.Fatalf("typeAware=%v: order is not a permutation", aware)
+		}
+	}
+}
+
+func TestPlanQuickPermutation(t *testing.T) {
+	f := func(n8, n4 uint8, seed uint64, aware bool) bool {
+		l := LayoutOf([]region.Region{
+			region.NewFloat64(int(n8%16) + 1),
+			region.NewInt32(int(n4%16) + 1),
+		})
+		p := NewPlan(l, seed, aware)
+		return isPermutation(p.Order(), l.TotalBytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanDeterministicInSeed(t *testing.T) {
+	l, _ := mkLayout(8, 8, 8)
+	a := NewPlan(l, 5, true).Order()
+	b := NewPlan(l, 5, true).Order()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give the same shuffle")
+		}
+	}
+	c := NewPlan(l, 6, true).Order()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different shuffles")
+	}
+}
+
+// significanceOf recomputes a byte's distance-from-MSB for the test.
+func significanceOf(l Layout, ins []region.Region, global int) int {
+	off := global
+	for _, in := range ins {
+		if off < in.NumBytes() {
+			es := in.Kind().Size()
+			return es - 1 - off%es
+		}
+		off -= in.NumBytes()
+	}
+	panic("out of range")
+}
+
+func TestTypeAwareMSBFirst(t *testing.T) {
+	// In the type-aware order, all rank-0 (MSB) indexes must precede all
+	// rank-1 indexes, and so on (§III-C).
+	l, ins := mkLayout(6, 10, 4)
+	p := NewPlan(l, 99, true)
+	lastRank := -1
+	for _, idx := range p.Order() {
+		r := significanceOf(l, ins, int(idx))
+		if r < lastRank {
+			t.Fatalf("rank %d appears after rank %d", r, lastRank)
+		}
+		lastRank = r
+	}
+}
+
+func TestTypeAwareProtectsMSBsAtHalfP(t *testing.T) {
+	// With only 4-byte elements and p = 50%, exactly the upper two bytes
+	// of every element must be selected (the paper's §III-C example).
+	ins := []region.Region{region.NewFloat32(8), region.NewInt32(8)}
+	l := LayoutOf(ins)
+	p := NewPlan(l, 1, true)
+	sel := p.Select(0.5)
+	if len(sel) != l.TotalBytes()/2 {
+		t.Fatalf("selected %d of %d", len(sel), l.TotalBytes())
+	}
+	for _, idx := range sel {
+		if r := significanceOf(l, ins, int(idx)); r > 1 {
+			t.Fatalf("selected byte %d has rank %d; p=50%% must keep ranks 0-1 only", idx, r)
+		}
+	}
+}
+
+func TestSelectBounds(t *testing.T) {
+	l, _ := mkLayout(4, 0, 0) // 32 bytes
+	p := NewPlan(l, 1, false)
+	if got := len(p.Select(1)); got != 32 {
+		t.Fatalf("p=1 must select all: %d", got)
+	}
+	if got := len(p.Select(1.0 / 32768)); got != 1 {
+		t.Fatalf("tiny p must select at least 1 byte: %d", got)
+	}
+	if got := len(p.Select(0.5)); got != 16 {
+		t.Fatalf("p=0.5 over 32 bytes must select 16: %d", got)
+	}
+	// Ceiling: 0.3 of 32 = 9.6 -> 10.
+	if got := len(p.Select(0.3)); got != 10 {
+		t.Fatalf("p=0.3 over 32 bytes must select ceil(9.6)=10: %d", got)
+	}
+}
+
+func TestSelectPrefixNesting(t *testing.T) {
+	// Select(p1) must be a prefix of Select(p2) when p1 <= p2: doubling
+	// p during training only extends the sampled byte set.
+	l, _ := mkLayout(3, 9, 5)
+	p := NewPlan(l, 44, true)
+	prev := p.Select(PFromLevel(0))
+	for lv := 1; lv <= 15; lv++ {
+		cur := p.Select(PFromLevel(lv))
+		if len(cur) < len(prev) {
+			t.Fatalf("level %d selects fewer bytes than level %d", lv, lv-1)
+		}
+		for i := range prev {
+			if prev[i] != cur[i] {
+				t.Fatalf("level %d is not a prefix extension of level %d", lv, lv-1)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestResolverMatchesRegions(t *testing.T) {
+	ins := []region.Region{
+		&region.Float64{Data: []float64{math.Pi, -1}},
+		&region.Int32{Data: []int32{7, -9, 1 << 20}},
+		&region.Bytes{Data: []byte{3, 1, 4}},
+	}
+	r := NewResolver(ins)
+	if r.TotalBytes() != 16+12+3 {
+		t.Fatalf("TotalBytes=%d", r.TotalBytes())
+	}
+	g := 0
+	for _, in := range ins {
+		for i := 0; i < in.NumBytes(); i++ {
+			if r.ByteAt(g) != in.ByteAt(i) {
+				t.Fatalf("resolver byte %d mismatch", g)
+			}
+			g++
+		}
+	}
+}
+
+func TestResolverPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r := NewResolver([]region.Region{region.NewBytes(2)})
+	r.ByteAt(2)
+}
+
+func TestEmptyLayout(t *testing.T) {
+	l := LayoutOf(nil)
+	p := NewPlan(l, 0, true)
+	if p.Len() != 0 || p.Select(1) != nil {
+		t.Fatal("empty layout must produce an empty plan")
+	}
+}

@@ -1,0 +1,90 @@
+package sampling
+
+import (
+	"testing"
+
+	"atm/internal/region"
+)
+
+func TestSegmentedCoversSelection(t *testing.T) {
+	ins := []region.Region{
+		region.NewFloat64(16), // bytes 0..127
+		region.NewFloat32(8),  // bytes 128..159
+		region.NewInt32(4),    // bytes 160..175
+	}
+	l := LayoutOf(ins)
+	p := NewPlan(l, 77, true)
+	for level := 0; level <= 15; level++ {
+		sel := p.Select(PFromLevel(level))
+		segs := p.Segmented(level)
+		if len(segs) != 3 {
+			t.Fatalf("level %d: %d segments", level, len(segs))
+		}
+		// The segmented offsets are exactly the selected global indexes,
+		// re-based per segment.
+		got := map[int]bool{}
+		starts := []int{0, 128, 160}
+		total := 0
+		for si, offs := range segs {
+			prev := int32(-1)
+			for _, off := range offs {
+				if off <= prev {
+					t.Fatalf("level %d seg %d: offsets not strictly ascending", level, si)
+				}
+				prev = off
+				got[starts[si]+int(off)] = true
+				total++
+			}
+		}
+		if total != len(sel) {
+			t.Fatalf("level %d: segmented %d bytes, selected %d", level, total, len(sel))
+		}
+		for _, g := range sel {
+			if !got[int(g)] {
+				t.Fatalf("level %d: selected byte %d missing from segments", level, g)
+			}
+		}
+	}
+}
+
+func TestSegmentedCached(t *testing.T) {
+	l := LayoutOf([]region.Region{region.NewFloat64(8)})
+	p := NewPlan(l, 1, false)
+	a := p.Segmented(5)
+	b := p.Segmented(5)
+	if len(a) != len(b) || &a[0][0] != &b[0][0] {
+		t.Fatal("segmented selections must be cached per level")
+	}
+}
+
+func TestHashSampleMatchesByteAt(t *testing.T) {
+	regions := []region.Region{
+		&region.Float64{Data: []float64{1.5, -2.25, 1e-300, 4e17}},
+		&region.Float32{Data: []float32{0.5, -1, 3e7, 2e-12}},
+		&region.Int32{Data: []int32{1, -5, 1 << 29, -42}},
+		&region.Bytes{Data: []byte{9, 8, 7, 6}},
+	}
+	for _, r := range regions {
+		offsets := make([]int32, 0, r.NumBytes())
+		for i := 0; i < r.NumBytes(); i += 3 { // strided sample
+			offsets = append(offsets, int32(i))
+		}
+		var got []byte
+		r.HashSample(offsets, byteCollector{&got})
+		if len(got) != len(offsets) {
+			t.Fatalf("%s: %d bytes for %d offsets", r.Kind(), len(got), len(offsets))
+		}
+		for i, off := range offsets {
+			if got[i] != r.ByteAt(int(off)) {
+				t.Fatalf("%s: HashSample[%d] != ByteAt(%d)", r.Kind(), i, off)
+			}
+		}
+	}
+}
+
+// byteCollector is a WordSink capturing only WriteByte calls.
+type byteCollector struct{ dst *[]byte }
+
+func (c byteCollector) WriteByte(b byte) error { *c.dst = append(*c.dst, b); return nil }
+func (c byteCollector) WriteUint32(u uint32)   { panic("unexpected word write") }
+func (c byteCollector) WriteUint64(u uint64)   { panic("unexpected word write") }

@@ -1,0 +1,486 @@
+// Package taskrt is a task-based dataflow runtime system in the style of
+// OmpSs/Nanos++ (§II-C of the paper): the program is decomposed into tasks
+// annotated with their data inputs and outputs; the runtime builds the
+// task dependence graph (TDG), moves tasks whose dependences are satisfied
+// to a ready queue, and executes them on a pool of workers.
+//
+// The runtime is memoization-agnostic: a Memoizer hook (implemented by
+// package core) is consulted when a worker pulls a task from the ready
+// queue and when a task body finishes, exactly the two interception points
+// of the paper's Fig. 1.
+package taskrt
+
+import (
+	"fmt"
+	"sync"
+
+	"atm/internal/region"
+	"atm/internal/trace"
+)
+
+// AccessMode declares how a task uses a region, mirroring the
+// in/out/inout clauses of OmpSs and OpenMP 4.0 task depend annotations.
+type AccessMode uint8
+
+// Access modes.
+const (
+	ModeIn    AccessMode = iota // read-only data input
+	ModeOut                     // write-only data output
+	ModeInOut                   // read-modify-write
+)
+
+// String returns the OmpSs clause name of the mode.
+func (m AccessMode) String() string {
+	switch m {
+	case ModeIn:
+		return "in"
+	case ModeOut:
+		return "out"
+	case ModeInOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("AccessMode(%d)", uint8(m))
+	}
+}
+
+// Access pairs a region with its access mode.
+type Access struct {
+	Region region.Region
+	Mode   AccessMode
+}
+
+// In declares a read-only access.
+func In(r region.Region) Access { return Access{Region: r, Mode: ModeIn} }
+
+// Out declares a write-only access.
+func Out(r region.Region) Access { return Access{Region: r, Mode: ModeOut} }
+
+// InOut declares a read-modify-write access.
+func InOut(r region.Region) Access { return Access{Region: r, Mode: ModeInOut} }
+
+// TaskFunc is a task body. It must be deterministic in its declared
+// inputs and write only its declared outputs (§III-E: ATM requires tasks
+// whose outputs are a pure function of their annotated inputs).
+type TaskFunc func(t *Task)
+
+// TypeConfig declares a task type (one pragma annotation in OmpSs terms).
+type TypeConfig struct {
+	// Name labels the type in statistics and reports.
+	Name string
+	// Run is the task body.
+	Run TaskFunc
+	// Memoize marks the type as suitable for ATM, the programmer
+	// guidance of §III-E. Non-memoizable types bypass ATM entirely.
+	Memoize bool
+	// TauMax is the per-task Chebyshev error bound τmax used by dynamic
+	// ATM's training phase (Table II). Zero means the 1% default.
+	TauMax float64
+	// LTraining is the number of correctly-approximated training tasks
+	// required before entering steady state (Table II). Zero means 15,
+	// the minimum that lets training reach p = 100%.
+	LTraining int
+	// Priority biases the ready queue: among ready tasks, higher
+	// priority runs first (OmpSs's priority clause). Ties follow the
+	// runtime's scheduling policy.
+	Priority int
+}
+
+// TaskType is a registered task type.
+type TaskType struct {
+	id  int
+	cfg TypeConfig
+	rt  *Runtime
+}
+
+// ID returns the dense per-runtime type identifier.
+func (tt *TaskType) ID() int { return tt.id }
+
+// Name returns the configured name.
+func (tt *TaskType) Name() string { return tt.cfg.Name }
+
+// Config returns the type's configuration.
+func (tt *TaskType) Config() TypeConfig { return tt.cfg }
+
+// TauMax returns the effective τmax (default 0.01).
+func (tt *TaskType) TauMax() float64 {
+	if tt.cfg.TauMax <= 0 {
+		return 0.01
+	}
+	return tt.cfg.TauMax
+}
+
+// LTraining returns the effective training length (default 15).
+func (tt *TaskType) LTraining() int {
+	if tt.cfg.LTraining <= 0 {
+		return 15
+	}
+	return tt.cfg.LTraining
+}
+
+// Task is one node of the TDG.
+type Task struct {
+	id       uint64
+	typ      *TaskType
+	accesses []Access
+	ins      []region.Region // ModeIn + ModeInOut regions, declaration order
+	outs     []region.Region // ModeOut + ModeInOut regions, declaration order
+
+	// Dependence bookkeeping, guarded by Runtime.mu.
+	npred int
+	succs []*Task
+	done  bool
+
+	// MemoScratch is opaque per-task state for the Memoizer (the hash
+	// key and lookup results computed in OnReady, consumed in
+	// OnFinished).
+	MemoScratch any
+}
+
+// ID returns the task's creation-order identifier (Fig. 9's task id).
+func (t *Task) ID() uint64 { return t.id }
+
+// Type returns the task's type.
+func (t *Task) Type() *TaskType { return t.typ }
+
+// Accesses returns the declared accesses in declaration order.
+func (t *Task) Accesses() []Access { return t.accesses }
+
+// Inputs returns the data-input regions (in + inout), the bytes ATM hashes.
+func (t *Task) Inputs() []region.Region { return t.ins }
+
+// Outputs returns the data-output regions (out + inout), what ATM copies.
+func (t *Task) Outputs() []region.Region { return t.outs }
+
+// Region returns access i's region (convenience for task bodies).
+func (t *Task) Region(i int) region.Region { return t.accesses[i].Region }
+
+// Float64s returns access i's region as a float64 slice. It panics if the
+// region is not a *region.Float64 (a task-body programming error).
+func (t *Task) Float64s(i int) []float64 {
+	return t.accesses[i].Region.(*region.Float64).Data
+}
+
+// Float32s returns access i's region as a float32 slice.
+func (t *Task) Float32s(i int) []float32 {
+	return t.accesses[i].Region.(*region.Float32).Data
+}
+
+// Int32s returns access i's region as an int32 slice.
+func (t *Task) Int32s(i int) []int32 {
+	return t.accesses[i].Region.(*region.Int32).Data
+}
+
+// Outcome is the Memoizer's verdict on a ready task.
+type Outcome uint8
+
+// Memoizer verdicts.
+const (
+	// OutcomeRun: execute the task body normally.
+	OutcomeRun Outcome = iota
+	// OutcomeMemoized: outputs were copied from the THT; skip the body.
+	OutcomeMemoized
+	// OutcomeDeferred: an in-flight task with the same key will provide
+	// the outputs and complete this task (IKT postponed copy). The
+	// worker must neither run nor complete it.
+	OutcomeDeferred
+)
+
+// Memoizer is the ATM hook. OnReady runs on the worker that pulled the
+// task before the body would execute; OnFinished runs after a body
+// completes (only for tasks whose OnReady returned OutcomeRun).
+type Memoizer interface {
+	OnReady(t *Task, worker int) Outcome
+	OnFinished(t *Task, worker int)
+}
+
+// RuntimeBinder is implemented by memoizers that need to complete
+// deferred tasks through the runtime (the IKT postponed-copy path).
+type RuntimeBinder interface {
+	BindRuntime(rt *Runtime)
+}
+
+// SchedPolicy selects the ready-queue discipline, mirroring the scheduler
+// plugins of Nanos++ (the paper's runtime exposes breadth-first and
+// depth-first schedulers; memoization behavior is policy-independent but
+// reuse distances are not).
+type SchedPolicy uint8
+
+// Scheduling policies.
+const (
+	// PolicyFIFO is breadth-first: tasks run in submission order.
+	PolicyFIFO SchedPolicy = iota
+	// PolicyLIFO is depth-first: the most recently readied task runs
+	// first (improves locality, shortens reuse distances).
+	PolicyLIFO
+)
+
+// String returns the policy's name.
+func (p SchedPolicy) String() string {
+	if p == PolicyLIFO {
+		return "lifo"
+	}
+	return "fifo"
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is the number of worker goroutines ("cores"). Zero means 1.
+	Workers int
+	// Memoizer is the optional ATM hook.
+	Memoizer Memoizer
+	// Tracer is the optional execution tracer.
+	Tracer *trace.Tracer
+	// Policy selects the ready-queue discipline (default FIFO).
+	Policy SchedPolicy
+}
+
+// Runtime is a task-dataflow runtime instance.
+type Runtime struct {
+	workers  int
+	memo     Memoizer
+	tracer   *trace.Tracer
+	policy   SchedPolicy
+	priority bool // any registered type has a non-zero priority
+	nextType int
+
+	mu      sync.Mutex // guards dependence registry, queue, counters
+	qcond   *sync.Cond
+	wcond   *sync.Cond
+	queue   []*Task
+	regs    map[region.Region]*regState
+	pending int
+	nextID  uint64
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// regState is the per-region dependence registry entry: the last task that
+// wrote the region and the readers since that write (the information OmpSs
+// keeps per address range).
+type regState struct {
+	lastWriter *Task
+	readers    []*Task
+}
+
+// New starts a runtime with cfg.Workers workers. Call Close when done.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	rt := &Runtime{
+		workers: cfg.Workers,
+		memo:    cfg.Memoizer,
+		tracer:  cfg.Tracer,
+		policy:  cfg.Policy,
+		regs:    make(map[region.Region]*regState),
+	}
+	rt.qcond = sync.NewCond(&rt.mu)
+	rt.wcond = sync.NewCond(&rt.mu)
+	if b, ok := cfg.Memoizer.(RuntimeBinder); ok {
+		b.BindRuntime(rt)
+	}
+	rt.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go rt.worker(w)
+	}
+	return rt
+}
+
+// Workers returns the worker count.
+func (rt *Runtime) Workers() int { return rt.workers }
+
+// Tracer returns the runtime's tracer (possibly nil).
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
+
+// RegisterType registers a task type and returns it.
+func (rt *Runtime) RegisterType(cfg TypeConfig) *TaskType {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	tt := &TaskType{id: rt.nextType, cfg: cfg, rt: rt}
+	rt.nextType++
+	if cfg.Priority != 0 {
+		rt.priority = true
+	}
+	return tt
+}
+
+// Submit creates a task of type tt with the given accesses, wires its
+// dependences against previously submitted tasks, and schedules it when
+// ready. Submit must be called from a single goroutine (the "master
+// thread"); task bodies must not submit.
+func (rt *Runtime) Submit(tt *TaskType, accesses ...Access) *Task {
+	t := &Task{typ: tt, accesses: accesses}
+	for _, a := range accesses {
+		if a.Mode == ModeIn || a.Mode == ModeInOut {
+			t.ins = append(t.ins, a.Region)
+		}
+		if a.Mode == ModeOut || a.Mode == ModeInOut {
+			t.outs = append(t.outs, a.Region)
+		}
+	}
+
+	master := rt.tracer.MasterLane()
+	rt.tracer.SetState(master, trace.StateCreate)
+
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		panic("taskrt: Submit after Close")
+	}
+	t.id = rt.nextID
+	rt.nextID++
+	rt.pending++
+	rt.tracer.TaskCreated()
+
+	seen := map[*Task]bool{}
+	addPred := func(p *Task) {
+		if p == nil || p == t || p.done || seen[p] {
+			return
+		}
+		seen[p] = true
+		p.succs = append(p.succs, t)
+		t.npred++
+	}
+	for _, a := range accesses {
+		rs := rt.regs[a.Region]
+		if rs == nil {
+			rs = &regState{}
+			rt.regs[a.Region] = rs
+		}
+		switch a.Mode {
+		case ModeIn:
+			addPred(rs.lastWriter) // RAW
+			rs.readers = append(rs.readers, t)
+		case ModeOut, ModeInOut:
+			addPred(rs.lastWriter) // WAW (and RAW for inout)
+			for _, r := range rs.readers {
+				addPred(r) // WAR
+			}
+			rs.lastWriter = t
+			rs.readers = nil
+			if a.Mode == ModeInOut {
+				rs.readers = append(rs.readers, t)
+			}
+		}
+	}
+	if t.npred == 0 {
+		rt.pushLocked(t)
+	}
+	rt.mu.Unlock()
+
+	rt.tracer.SetState(master, trace.StateOther)
+	return t
+}
+
+// pushLocked appends t to the ready queue. Caller holds rt.mu.
+func (rt *Runtime) pushLocked(t *Task) {
+	rt.queue = append(rt.queue, t)
+	rt.tracer.RQDepth(len(rt.queue))
+	rt.qcond.Signal()
+}
+
+// pop blocks until a task is ready or the runtime closes, then removes
+// and returns the task selected by the scheduling policy.
+func (rt *Runtime) pop() *Task {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for len(rt.queue) == 0 && !rt.closed {
+		rt.qcond.Wait()
+	}
+	if len(rt.queue) == 0 {
+		return nil
+	}
+	idx := 0
+	if rt.policy == PolicyLIFO {
+		idx = len(rt.queue) - 1
+	}
+	if rt.priority {
+		// Highest priority wins; the policy breaks ties (FIFO keeps
+		// the earliest such task, LIFO the latest).
+		best := rt.queue[idx].typ.cfg.Priority
+		for i, c := range rt.queue {
+			p := c.typ.cfg.Priority
+			if p > best || (p == best && rt.policy == PolicyLIFO) {
+				best, idx = p, i
+			}
+		}
+	}
+	t := rt.queue[idx]
+	rt.queue = append(rt.queue[:idx], rt.queue[idx+1:]...)
+	rt.tracer.RQDepth(len(rt.queue))
+	return t
+}
+
+// worker is the per-worker loop: pull a ready task, consult the memoizer,
+// execute or skip, complete.
+func (rt *Runtime) worker(w int) {
+	defer rt.wg.Done()
+	for {
+		rt.tracer.SetState(w, trace.StateIdle)
+		t := rt.pop()
+		if t == nil {
+			return
+		}
+		if rt.memo != nil && t.typ.cfg.Memoize {
+			switch rt.memo.OnReady(t, w) {
+			case OutcomeMemoized:
+				rt.complete(t)
+				continue
+			case OutcomeDeferred:
+				continue // the in-flight provider completes it
+			}
+			rt.tracer.SetState(w, trace.StateExec)
+			t.typ.cfg.Run(t)
+			rt.memo.OnFinished(t, w)
+		} else {
+			rt.tracer.SetState(w, trace.StateExec)
+			t.typ.cfg.Run(t)
+		}
+		rt.complete(t)
+	}
+}
+
+// complete marks t done and releases its successors.
+func (rt *Runtime) complete(t *Task) {
+	rt.mu.Lock()
+	t.done = true
+	for _, s := range t.succs {
+		s.npred--
+		if s.npred == 0 {
+			rt.pushLocked(s)
+		}
+	}
+	t.succs = nil
+	rt.pending--
+	if rt.pending == 0 {
+		rt.wcond.Broadcast()
+	}
+	rt.mu.Unlock()
+}
+
+// CompleteExternal completes a task that was deferred by the memoizer
+// (OutcomeDeferred) after its outputs have been provided. It must be
+// called exactly once per deferred task.
+func (rt *Runtime) CompleteExternal(t *Task) { rt.complete(t) }
+
+// Wait blocks until every submitted task has completed (taskwait/barrier).
+func (rt *Runtime) Wait() {
+	rt.mu.Lock()
+	for rt.pending > 0 {
+		rt.wcond.Wait()
+	}
+	rt.mu.Unlock()
+}
+
+// Close waits for outstanding tasks, then stops the workers. The runtime
+// must not be used afterwards.
+func (rt *Runtime) Close() {
+	rt.Wait()
+	rt.mu.Lock()
+	rt.closed = true
+	rt.qcond.Broadcast()
+	rt.mu.Unlock()
+	rt.wg.Wait()
+	rt.tracer.Flush()
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// glyphs maps each state to its timeline character, approximating the
+// color coding of the paper's Paraver views (Figs. 7 and 8): task
+// execution is the dominant "ink", ATM states stand out, idle is blank.
+var glyphs = [numStates]byte{
+	StateIdle:   ' ',
+	StateExec:   '#',
+	StateHash:   'h',
+	StateMemo:   'm',
+	StateCreate: 'c',
+	StateOther:  '.',
+}
+
+// Glyph returns the timeline character for a state.
+func (s State) Glyph() byte { return glyphs[s] }
+
+// RenderTimeline writes an ASCII execution timeline: one row per lane,
+// width columns spanning the trace, each cell showing the state that
+// dominated that time slice. It requires a detail-mode tracer (interval
+// lists); lanes without intervals render blank.
+//
+// Output shape:
+//
+//	Core 1 |####hh##m ###   ...|
+//	Core 2 |  ###hhm####mm##...|
+func RenderTimeline(w io.Writer, t *Tracer, lanes int, width int) {
+	if t == nil || width <= 0 {
+		return
+	}
+	var end time.Duration
+	for l := 0; l < lanes; l++ {
+		for _, iv := range t.Intervals(l) {
+			if iv.End > end {
+				end = iv.End
+			}
+		}
+	}
+	if end == 0 {
+		fmt.Fprintln(w, "(no intervals; run with detail tracing)")
+		return
+	}
+	slice := end / time.Duration(width)
+	if slice == 0 {
+		slice = 1
+	}
+	for l := 0; l < lanes; l++ {
+		row := make([]byte, width)
+		// Per cell, pick the state holding the longest share of the
+		// slice.
+		var share [numStates]time.Duration
+		cell := 0
+		cellEnd := slice
+		flush := func() {
+			best, bestD := StateIdle, time.Duration(0)
+			for s := State(0); s < numStates; s++ {
+				if share[s] > bestD {
+					best, bestD = s, share[s]
+				}
+			}
+			row[cell] = glyphs[best]
+			share = [numStates]time.Duration{}
+		}
+		for _, iv := range t.Intervals(l) {
+			pos := iv.Start
+			for pos < iv.End && cell < width {
+				if pos >= cellEnd {
+					flush()
+					cell++
+					cellEnd += slice
+					continue
+				}
+				chunk := iv.End
+				if cellEnd < chunk {
+					chunk = cellEnd
+				}
+				share[iv.State] += chunk - pos
+				pos = chunk
+			}
+			if cell >= width {
+				break
+			}
+		}
+		if cell < width {
+			flush()
+			for i := cell + 1; i < width; i++ {
+				row[i] = glyphs[StateIdle]
+			}
+		}
+		label := fmt.Sprintf("Core %d", l+1)
+		if l == t.MasterLane() {
+			label = "Master"
+		}
+		fmt.Fprintf(w, "%-7s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%-7s %s\n", "", legendLine())
+	fmt.Fprintf(w, "%-7s total %v, %v per column\n", "", end.Round(time.Microsecond), slice.Round(time.Microsecond))
+}
+
+func legendLine() string {
+	var b strings.Builder
+	for _, s := range States() {
+		fmt.Fprintf(&b, "%c=%s  ", glyphs[s], s)
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	tr := New(2, true)
+	now := tr.start
+	tr.now = func() time.Time { return now }
+	tr.SetState(0, StateExec)
+	now = now.Add(8 * time.Millisecond)
+	tr.SetState(0, StateHash)
+	now = now.Add(2 * time.Millisecond)
+	tr.SetState(0, StateIdle)
+	tr.SetState(1, StateMemo)
+	now = now.Add(2 * time.Millisecond)
+	tr.Flush()
+
+	var buf bytes.Buffer
+	RenderTimeline(&buf, tr, 2, 12)
+	out := buf.String()
+	if !strings.Contains(out, "Core 1") || !strings.Contains(out, "Core 2") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("exec glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, "h") {
+		t.Fatalf("hash glyph missing:\n%s", out)
+	}
+	// Core 1's row: mostly '#', with 'h' near the end.
+	line := strings.SplitN(out, "\n", 2)[0]
+	if strings.Count(line, "#") < 6 {
+		t.Fatalf("exec share under-rendered: %q", line)
+	}
+}
+
+func TestRenderTimelineNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTimeline(&buf, nil, 2, 10) // nil tracer: no output, no panic
+	if buf.Len() != 0 {
+		t.Fatal("nil tracer must render nothing")
+	}
+	tr := New(1, true)
+	RenderTimeline(&buf, tr, 1, 10)
+	if !strings.Contains(buf.String(), "no intervals") {
+		t.Fatalf("empty trace message missing: %q", buf.String())
+	}
+}
+
+func TestGlyphsDistinct(t *testing.T) {
+	seen := map[byte]bool{}
+	for _, s := range States() {
+		g := s.Glyph()
+		if seen[g] {
+			t.Fatalf("duplicate glyph %q", g)
+		}
+		seen[g] = true
+	}
+}

@@ -1,0 +1,290 @@
+// Package trace records runtime execution traces: per-worker state
+// intervals (the Paraver-style timelines of Figs. 7 and 8), ready-queue
+// depth samples (Figs. 8(b)/8(d)) and the reuse-generation event log
+// (Fig. 9).
+//
+// A Tracer is optional everywhere; all methods are safe on a nil receiver
+// so the runtime and the memoizer can call them unconditionally.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a worker activity class, matching the legend of Figs. 7 and 8.
+type State uint8
+
+// Worker states.
+const (
+	StateIdle   State = iota // waiting for work
+	StateExec                // executing a task body
+	StateHash                // ATM: hash-key computation
+	StateMemo                // ATM: memoization (output copies THT<->task)
+	StateCreate              // task creation & scheduling (master lane)
+	StateOther               // everything else
+	numStates
+)
+
+// String returns the state's display name.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateExec:
+		return "Task Execution"
+	case StateHash:
+		return "ATM:Hash-key computation"
+	case StateMemo:
+		return "ATM:Task Memoization"
+	case StateCreate:
+		return "Task Creation & Scheduling"
+	default:
+		return "Other states"
+	}
+}
+
+// States lists all states in display order.
+func States() []State {
+	return []State{StateIdle, StateExec, StateHash, StateMemo, StateCreate, StateOther}
+}
+
+// Interval is one contiguous stretch of a worker in a state.
+type Interval struct {
+	State      State
+	Start, End time.Duration // offsets from trace start
+}
+
+// DepthSample is one (time, ready-queue depth) observation.
+type DepthSample struct {
+	At    time.Duration
+	Depth int
+}
+
+// ReuseEvent records one memoized task: Consumer's outputs were provided
+// by Provider's earlier execution. Approx marks p < 100% matches; InFlight
+// marks IKT (postponed-copy) reuse.
+type ReuseEvent struct {
+	Provider, Consumer uint64
+	Approx             bool
+	InFlight           bool
+}
+
+// lane is the private per-worker trace stream. Each lane is written by
+// exactly one goroutine; the Tracer only aggregates at read time.
+type lane struct {
+	mu        sync.Mutex
+	cur       State
+	curStart  time.Duration
+	durations [numStates]time.Duration
+	intervals []Interval
+}
+
+// Tracer collects a single run's trace. Create one per experiment run.
+type Tracer struct {
+	start     time.Time
+	now       func() time.Time
+	detail    bool
+	lanes     []*lane
+	depthMu   sync.Mutex
+	depths    []DepthSample
+	reuseMu   sync.Mutex
+	reuses    []ReuseEvent
+	createdMu sync.Mutex
+	created   int
+}
+
+// New returns a tracer with the given number of worker lanes plus one
+// master lane (index MasterLane()) for the task-creating thread. Pass
+// detail=true to keep full interval lists (needed to render timelines);
+// otherwise only per-state totals are kept.
+func New(workers int, detail bool) *Tracer {
+	t := &Tracer{
+		start:  time.Now(),
+		now:    time.Now,
+		detail: detail,
+		lanes:  make([]*lane, workers+1),
+	}
+	for i := range t.lanes {
+		t.lanes[i] = &lane{cur: StateIdle}
+	}
+	return t
+}
+
+// MasterLane returns the lane index reserved for the task-creating thread.
+func (t *Tracer) MasterLane() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.lanes) - 1
+}
+
+func (t *Tracer) elapsed() time.Duration { return t.now().Sub(t.start) }
+
+// SetState switches worker w to state s, closing the previous interval.
+func (t *Tracer) SetState(w int, s State) {
+	if t == nil {
+		return
+	}
+	l := t.lanes[w]
+	at := t.elapsed()
+	l.mu.Lock()
+	if l.cur != s {
+		d := at - l.curStart
+		l.durations[l.cur] += d
+		if t.detail && d > 0 {
+			l.intervals = append(l.intervals, Interval{State: l.cur, Start: l.curStart, End: at})
+		}
+		l.cur = s
+		l.curStart = at
+	}
+	l.mu.Unlock()
+}
+
+// Flush closes all open intervals (call once when the run ends).
+func (t *Tracer) Flush() {
+	if t == nil {
+		return
+	}
+	at := t.elapsed()
+	for _, l := range t.lanes {
+		l.mu.Lock()
+		d := at - l.curStart
+		l.durations[l.cur] += d
+		if t.detail && d > 0 {
+			l.intervals = append(l.intervals, Interval{State: l.cur, Start: l.curStart, End: at})
+		}
+		l.curStart = at
+		l.mu.Unlock()
+	}
+}
+
+// RQDepth records the ready-queue depth after a push or pop.
+func (t *Tracer) RQDepth(depth int) {
+	if t == nil || !t.detail {
+		return
+	}
+	at := t.elapsed()
+	t.depthMu.Lock()
+	t.depths = append(t.depths, DepthSample{At: at, Depth: depth})
+	t.depthMu.Unlock()
+}
+
+// Reuse records a memoization event for Fig. 9.
+func (t *Tracer) Reuse(provider, consumer uint64, approx, inFlight bool) {
+	if t == nil {
+		return
+	}
+	t.reuseMu.Lock()
+	t.reuses = append(t.reuses, ReuseEvent{Provider: provider, Consumer: consumer, Approx: approx, InFlight: inFlight})
+	t.reuseMu.Unlock()
+}
+
+// TaskCreated counts a task creation (normalizes Fig. 9's x axis).
+func (t *Tracer) TaskCreated() {
+	if t == nil {
+		return
+	}
+	t.createdMu.Lock()
+	t.created++
+	t.createdMu.Unlock()
+}
+
+// Durations returns, per lane, the total time spent in each state.
+func (t *Tracer) Durations() [][]time.Duration {
+	if t == nil {
+		return nil
+	}
+	out := make([][]time.Duration, len(t.lanes))
+	for i, l := range t.lanes {
+		l.mu.Lock()
+		ds := make([]time.Duration, numStates)
+		copy(ds, l.durations[:])
+		l.mu.Unlock()
+		out[i] = ds
+	}
+	return out
+}
+
+// Intervals returns the interval list of lane w (detail mode only).
+func (t *Tracer) Intervals(w int) []Interval {
+	if t == nil {
+		return nil
+	}
+	l := t.lanes[w]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Interval, len(l.intervals))
+	copy(out, l.intervals)
+	return out
+}
+
+// Depths returns the ready-queue depth samples.
+func (t *Tracer) Depths() []DepthSample {
+	if t == nil {
+		return nil
+	}
+	t.depthMu.Lock()
+	defer t.depthMu.Unlock()
+	out := make([]DepthSample, len(t.depths))
+	copy(out, t.depths)
+	return out
+}
+
+// Reuses returns the reuse event log.
+func (t *Tracer) Reuses() []ReuseEvent {
+	if t == nil {
+		return nil
+	}
+	t.reuseMu.Lock()
+	defer t.reuseMu.Unlock()
+	out := make([]ReuseEvent, len(t.reuses))
+	copy(out, t.reuses)
+	return out
+}
+
+// Created returns the number of tasks created.
+func (t *Tracer) Created() int {
+	if t == nil {
+		return 0
+	}
+	t.createdMu.Lock()
+	defer t.createdMu.Unlock()
+	return t.created
+}
+
+// CumulativeReuse computes Fig. 9's curve: for every provider task id (in
+// creation order) the cumulative count of reuse events generated by tasks
+// with id ≤ that id, normalized on both axes. Returns (normalized ids,
+// cumulative fractions); len(xs) == number of distinct providers.
+func (t *Tracer) CumulativeReuse() (xs, ys []float64) {
+	if t == nil {
+		return nil, nil
+	}
+	events := t.Reuses()
+	total := t.Created()
+	if len(events) == 0 || total == 0 {
+		return nil, nil
+	}
+	perProvider := map[uint64]int{}
+	for _, e := range events {
+		perProvider[e.Provider]++
+	}
+	ids := make([]uint64, 0, len(perProvider))
+	for id := range perProvider {
+		ids = append(ids, id)
+	}
+	// insertion sort keeps this dependency-free; provider counts are small
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	cum := 0
+	for _, id := range ids {
+		cum += perProvider[id]
+		xs = append(xs, float64(id)/float64(total))
+		ys = append(ys, float64(cum)/float64(len(events)))
+	}
+	return xs, ys
+}

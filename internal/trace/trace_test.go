@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.SetState(0, StateExec)
+	tr.Flush()
+	tr.RQDepth(3)
+	tr.Reuse(1, 2, false, false)
+	tr.TaskCreated()
+	if tr.Durations() != nil || tr.Depths() != nil || tr.Reuses() != nil {
+		t.Fatal("nil tracer must return nil slices")
+	}
+	if tr.Created() != 0 || tr.MasterLane() != 0 {
+		t.Fatal("nil tracer counters must be zero")
+	}
+	if xs, ys := tr.CumulativeReuse(); xs != nil || ys != nil {
+		t.Fatal("nil tracer reuse curve must be nil")
+	}
+}
+
+func TestStateDurationsAccumulate(t *testing.T) {
+	tr := New(2, false)
+	// Drive the clock by hand.
+	now := tr.start
+	tr.now = func() time.Time { return now }
+
+	tr.SetState(0, StateExec)
+	now = now.Add(10 * time.Millisecond)
+	tr.SetState(0, StateHash)
+	now = now.Add(5 * time.Millisecond)
+	tr.SetState(0, StateIdle)
+	now = now.Add(1 * time.Millisecond)
+	tr.Flush()
+
+	ds := tr.Durations()[0]
+	if ds[StateExec] != 10*time.Millisecond {
+		t.Fatalf("exec=%v", ds[StateExec])
+	}
+	if ds[StateHash] != 5*time.Millisecond {
+		t.Fatalf("hash=%v", ds[StateHash])
+	}
+	// Initial implicit idle (0) + final ms.
+	if ds[StateIdle] != 1*time.Millisecond {
+		t.Fatalf("idle=%v", ds[StateIdle])
+	}
+}
+
+func TestSetStateSameStateNoInterval(t *testing.T) {
+	tr := New(1, true)
+	now := tr.start
+	tr.now = func() time.Time { return now }
+	tr.SetState(0, StateExec)
+	now = now.Add(time.Millisecond)
+	tr.SetState(0, StateExec) // no-op
+	now = now.Add(time.Millisecond)
+	tr.SetState(0, StateIdle)
+	tr.Flush()
+	ivs := tr.Intervals(0)
+	// One Exec interval of 2ms (plus possibly a trailing idle of 0 is
+	// dropped because zero-width intervals are not recorded).
+	var execIv int
+	for _, iv := range ivs {
+		if iv.State == StateExec {
+			execIv++
+			if iv.End-iv.Start != 2*time.Millisecond {
+				t.Fatalf("exec interval %v", iv.End-iv.Start)
+			}
+		}
+	}
+	if execIv != 1 {
+		t.Fatalf("want 1 exec interval, got %d", execIv)
+	}
+}
+
+func TestMasterLane(t *testing.T) {
+	tr := New(4, false)
+	if tr.MasterLane() != 4 {
+		t.Fatalf("master lane = %d", tr.MasterLane())
+	}
+	if len(tr.Durations()) != 5 {
+		t.Fatal("lanes = workers + master")
+	}
+}
+
+func TestDepthSamplesDetailOnly(t *testing.T) {
+	tr := New(1, false)
+	tr.RQDepth(1)
+	if len(tr.Depths()) != 0 {
+		t.Fatal("depth samples require detail mode")
+	}
+	trd := New(1, true)
+	trd.RQDepth(1)
+	trd.RQDepth(0)
+	d := trd.Depths()
+	if len(d) != 2 || d[0].Depth != 1 || d[1].Depth != 0 {
+		t.Fatalf("depths=%v", d)
+	}
+}
+
+func TestCumulativeReuse(t *testing.T) {
+	tr := New(1, false)
+	for i := 0; i < 10; i++ {
+		tr.TaskCreated()
+	}
+	// Provider 2 generates 3 reuses; provider 6 generates 1.
+	tr.Reuse(2, 3, false, false)
+	tr.Reuse(2, 4, true, false)
+	tr.Reuse(2, 7, false, true)
+	tr.Reuse(6, 8, false, false)
+
+	xs, ys := tr.CumulativeReuse()
+	if len(xs) != 2 {
+		t.Fatalf("want 2 providers, got %d", len(xs))
+	}
+	if xs[0] != 0.2 || xs[1] != 0.6 {
+		t.Fatalf("xs=%v", xs)
+	}
+	if ys[0] != 0.75 || ys[1] != 1.0 {
+		t.Fatalf("ys=%v", ys)
+	}
+}
+
+func TestCumulativeReuseEmpty(t *testing.T) {
+	tr := New(1, false)
+	tr.TaskCreated()
+	if xs, ys := tr.CumulativeReuse(); xs != nil || ys != nil {
+		t.Fatal("no reuse events must give an empty curve")
+	}
+}
+
+func TestReuseEventFields(t *testing.T) {
+	tr := New(1, false)
+	tr.Reuse(5, 9, true, true)
+	ev := tr.Reuses()
+	if len(ev) != 1 || ev[0].Provider != 5 || ev[0].Consumer != 9 || !ev[0].Approx || !ev[0].InFlight {
+		t.Fatalf("event=%+v", ev)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, s := range States() {
+		if s.String() == "" {
+			t.Fatal("empty state name")
+		}
+	}
+	if StateHash.String() != "ATM:Hash-key computation" {
+		t.Fatal("hash state must use the paper's legend name")
+	}
+}
+
+func TestConcurrentLanes(t *testing.T) {
+	tr := New(8, true)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 1000; i++ {
+				tr.SetState(w, StateExec)
+				tr.SetState(w, StateIdle)
+				tr.Reuse(uint64(i), uint64(i+1), false, false)
+				tr.RQDepth(i)
+				tr.TaskCreated()
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	tr.Flush()
+	if tr.Created() != 8000 || len(tr.Reuses()) != 8000 {
+		t.Fatal("concurrent counters lost updates")
+	}
+}
