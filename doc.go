@@ -5,11 +5,18 @@
 // The library lives in the internal packages:
 //
 //   - internal/taskrt — an OmpSs-style task-dataflow runtime (task types,
-//     in/out/inout region annotations, dependence graph, ready queue,
-//     worker pool, scheduling policies).
-//   - internal/core — the ATM engine: Task History Table, In-flight Key
+//     in/out/inout region annotations, dependence graph, scheduling
+//     policies) built on a work-stealing scheduler: per-worker deques
+//     with LIFO owner access and FIFO stealing, a sharded injector for
+//     master-thread submissions, direct handoff of single successors,
+//     lock-free dependence wiring, slab-allocated tasks and Nanos++-style
+//     submission throttling.
+//   - internal/core — the ATM engine: Task History Table (ring-buffer
+//     buckets, refcounted entries recycled through a pool), In-flight Key
 //     Table, Jenkins hashing over sampled inputs, and the static /
-//     dynamic / fixed-p operating modes.
+//     dynamic / fixed-p operating modes. The steady-state hit path is
+//     allocation- and lock-free (per-worker hashers and stat shards,
+//     atomic type/plan lookups, sampled overhead timing).
 //   - internal/region, internal/sampling, internal/jenkins,
 //     internal/metrics, internal/trace — the supporting substrates.
 //   - internal/apps/... — the six evaluated benchmarks of Table I.
@@ -19,6 +26,7 @@
 // This root package carries the repository-level benchmark suite
 // (bench_test.go, ablation_bench_test.go): one testing.B target per paper
 // table/figure plus ablations of the design decisions. See README.md for
-// a tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
-// paper-vs-measured results.
+// a tour, DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and PERFORMANCE.md for the runtime's
+// bottleneck inventory and before/after numbers (BENCH_1.json).
 package atm

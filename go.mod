@@ -1,0 +1,3 @@
+module atm
+
+go 1.24

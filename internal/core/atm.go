@@ -12,6 +12,12 @@
 // currently executing, this one is deferred and receives the outputs when
 // the in-flight provider finishes.
 //
+// The steady-state hit path (hash + THT probe + output copy) is
+// allocation-free and lock-free: each worker owns a reusable hasher and
+// scratch, type state and shuffle plans are read through atomic
+// pointers, statistics go to per-worker padded shards, and overhead
+// timing is sampled rather than measured on every task.
+//
 // Three operating modes are provided:
 //
 //   - ModeStatic — static ATM: p = 100% of input bytes, exact memoization,
@@ -117,6 +123,16 @@ func (c *Config) applyDefaults() {
 // which an output region is declared chaotic and excluded from ATM.
 const excludeAfter = 3
 
+// Overhead timing is sampled: the first timingWarmup tasks of a type (per
+// worker) are measured exactly — keeping short runs and tests accurate —
+// after which only every timingSampleth task pays the two time.Now()
+// calls, with the measurement scaled up so aggregate HashTime/CopyTime
+// stay representative.
+const (
+	timingWarmup = 64
+	timingSample = 64
+)
+
 // phase is a task type's position in the dynamic-ATM lifecycle.
 type phase uint8
 
@@ -125,11 +141,31 @@ const (
 	phaseSteady
 )
 
-// typeState is the per-task-type adaptive state of §III-D.
+// typeShard is one worker's slice of a type's statistics, padded so
+// different workers never share a cache line. All fields are atomics only
+// so Stats() may read them concurrently; each shard has a single writer.
+type typeShard struct {
+	tasks         atomic.Int64
+	executed      atomic.Int64
+	memoTHT       atomic.Int64
+	memoIKT       atomic.Int64
+	trainHits     atomic.Int64
+	trainFailures atomic.Int64
+	excludedSkips atomic.Int64
+	hashNanos     atomic.Int64
+	copyNanos     atomic.Int64
+	_             [56]byte
+}
+
+// typeState is the per-task-type adaptive state of §III-D. The steady
+// state hot path reads only phaseLevel and hasExcl (both atomic); the
+// mutex guards the training-phase bookkeeping.
 type typeState struct {
+	phaseLevel atomic.Uint32 // phase<<8 | level
+	hasExcl    atomic.Bool   // any region in the exclusion set
+	shards     []typeShard   // one per worker, +1 for external callers
+
 	mu        sync.Mutex
-	phase     phase
-	level     int // current p level: p = 2^(level-15)
 	successes int // consecutive correct approximations at this level
 	// failCount counts, per output region, training approximations whose
 	// τ reached τmax. Every failure doubles p (§III-D); a region that
@@ -141,31 +177,38 @@ type typeState struct {
 	// algorithm does.
 	failCount map[region.Region]int
 	excluded  map[region.Region]bool
+}
 
-	// Counters (guarded by mu).
-	tasks         int64
-	executed      int64
-	memoTHT       int64
-	memoIKT       int64
-	trainHits     int64
-	trainFailures int64
-	excludedSkips int64
-	hashNanos     int64
-	copyNanos     int64
+func packPhaseLevel(ph phase, level int) uint32 { return uint32(ph)<<8 | uint32(level) }
+
+func (ts *typeState) load() (phase, int) {
+	pl := ts.phaseLevel.Load()
+	return phase(pl >> 8), int(pl & 0xff)
 }
 
 // scratch is the per-task Memoizer state carried from OnReady to
-// OnFinished in Task.MemoScratch.
+// OnFinished in Task.MemoScratch. One scratch per worker is recycled
+// across tasks: OnReady and OnFinished for a task always run on the same
+// worker, with no other task of that worker's in between.
 type scratch struct {
 	key        uint64
 	level      int8
-	trainEntry *Entry // training-phase THT hit to grade after execution
+	timed      bool
+	trainEntry *Entry // training-phase THT hit to grade after execution (retained)
 	iktKey     iktKey
 	inIKT      bool
 	// insSnap holds pre-execution input clones when Config.VerifyInputs
 	// is set; inout inputs are mutated by the body, so the snapshot must
 	// be taken at hash time, not at THT-insert time.
 	insSnap []region.Region
+}
+
+// workerState is the per-worker reusable machinery: the streaming hasher
+// and the scratch, padded against false sharing.
+type workerState struct {
+	hasher  *jenkins.Streaming
+	scratch scratch
+	_       [40]byte
 }
 
 // ATM is the Approximate Task Memoization engine. It implements
@@ -176,14 +219,21 @@ type ATM struct {
 	tht *THT
 	ikt *IKT
 
-	planMu sync.RWMutex
-	plans  map[planKey]*sampling.Plan
+	// plans is an immutable map swapped copy-on-write under planMu;
+	// readers load it with one atomic pointer read.
+	planMu sync.Mutex
+	plans  atomic.Pointer[map[planKey]*sampling.Plan]
 
 	falsePositives atomic.Int64
 
-	typeMu sync.Mutex
-	types  map[int]*typeState
-	names  map[int]string
+	// typeStates is a dense slice indexed by task-type ID, grown
+	// copy-on-write under typeMu; the hot path is one atomic load plus an
+	// index.
+	typeMu     sync.Mutex
+	typeStates atomic.Pointer[[]*typeState]
+	names      map[int]string
+
+	workers []workerState
 }
 
 type planKey struct {
@@ -203,8 +253,6 @@ func New(cfg Config) *ATM {
 	return &ATM{
 		cfg:   cfg,
 		tht:   NewTHT(cfg.NBits, cfg.M),
-		plans: make(map[planKey]*sampling.Plan),
-		types: make(map[int]*typeState),
 		names: make(map[int]string),
 	}
 }
@@ -213,6 +261,10 @@ func New(cfg Config) *ATM {
 func (a *ATM) BindRuntime(rt *taskrt.Runtime) {
 	a.rt = rt
 	a.ikt = NewIKT(rt.Workers())
+	a.workers = make([]workerState, rt.Workers())
+	for i := range a.workers {
+		a.workers[i].hasher = jenkins.NewStreaming(a.cfg.Seed)
+	}
 }
 
 // Config returns the engine's effective configuration.
@@ -224,50 +276,100 @@ func (a *ATM) THT() *THT { return a.tht }
 // IKT exposes the in-flight table (for statistics and tests).
 func (a *ATM) IKT() *IKT { return a.ikt }
 
-// state returns (creating if needed) the per-type adaptive state.
+// state returns (creating if needed) the per-type adaptive state. The hit
+// path costs one atomic load and an index into the dense type slice.
 func (a *ATM) state(tt *taskrt.TaskType) *typeState {
+	id := tt.ID()
+	if sl := a.typeStates.Load(); sl != nil && id < len(*sl) {
+		if ts := (*sl)[id]; ts != nil {
+			return ts
+		}
+	}
+	return a.stateSlow(tt)
+}
+
+func (a *ATM) stateSlow(tt *taskrt.TaskType) *typeState {
 	a.typeMu.Lock()
 	defer a.typeMu.Unlock()
-	ts, ok := a.types[tt.ID()]
-	if !ok {
-		ts = &typeState{
-			failCount: make(map[region.Region]int),
-			excluded:  make(map[region.Region]bool),
-		}
-		switch a.cfg.Mode {
-		case ModeStatic:
-			ts.phase = phaseSteady
-			ts.level = sampling.MaxPLevel
-		case ModeFixed:
-			ts.phase = phaseSteady
-			ts.level = a.cfg.FixedLevel
-		default:
-			ts.phase = phaseTraining
-			ts.level = sampling.MinPLevel
-		}
-		a.types[tt.ID()] = ts
-		a.names[tt.ID()] = tt.Name()
+	id := tt.ID()
+	var cur []*typeState
+	if sl := a.typeStates.Load(); sl != nil {
+		cur = *sl
 	}
+	if id < len(cur) && cur[id] != nil {
+		return cur[id]
+	}
+	nshards := len(a.workers) + 1
+	if nshards < 2 {
+		nshards = 2
+	}
+	ts := &typeState{
+		shards:    make([]typeShard, nshards),
+		failCount: make(map[region.Region]int),
+		excluded:  make(map[region.Region]bool),
+	}
+	switch a.cfg.Mode {
+	case ModeStatic:
+		ts.phaseLevel.Store(packPhaseLevel(phaseSteady, sampling.MaxPLevel))
+	case ModeFixed:
+		ts.phaseLevel.Store(packPhaseLevel(phaseSteady, a.cfg.FixedLevel))
+	default:
+		ts.phaseLevel.Store(packPhaseLevel(phaseTraining, sampling.MinPLevel))
+	}
+	grown := make([]*typeState, max(id+1, len(cur)))
+	copy(grown, cur)
+	grown[id] = ts
+	a.typeStates.Store(&grown)
+	a.names[id] = tt.Name()
 	return ts
 }
 
-// plan returns the cached shuffle plan for a task's input layout.
-func (a *ATM) plan(typeID int, layout sampling.Layout) *sampling.Plan {
-	pk := planKey{typeID: typeID, sig: layout.Signature()}
-	a.planMu.RLock()
-	p := a.plans[pk]
-	a.planMu.RUnlock()
-	if p != nil {
-		return p
+// shard returns the stats shard for worker w of ts (the last shard
+// absorbs out-of-range callers such as tests driving the engine
+// directly).
+func (ts *typeState) shard(w int) *typeShard {
+	if w < 0 || w >= len(ts.shards)-1 {
+		w = len(ts.shards) - 1
+	}
+	return &ts.shards[w]
+}
+
+// hasherFor returns worker w's reusable hasher, or a fresh one for
+// out-of-band callers.
+func (a *ATM) hasherFor(w int) *jenkins.Streaming {
+	if w >= 0 && w < len(a.workers) {
+		return a.workers[w].hasher
+	}
+	return jenkins.NewStreaming(a.cfg.Seed)
+}
+
+// planFor returns the cached shuffle plan for a task's input layout,
+// building it on first use. The fast path is one atomic map load.
+func (a *ATM) planFor(typeID int, sig uint64, ins []region.Region) *sampling.Plan {
+	pk := planKey{typeID: typeID, sig: sig}
+	if m := a.plans.Load(); m != nil {
+		if p := (*m)[pk]; p != nil {
+			return p
+		}
 	}
 	a.planMu.Lock()
 	defer a.planMu.Unlock()
-	if p = a.plans[pk]; p != nil {
-		return p
+	var cur map[planKey]*sampling.Plan
+	if m := a.plans.Load(); m != nil {
+		cur = *m
+		if p := cur[pk]; p != nil {
+			return p
+		}
 	}
+	layout := sampling.LayoutOf(ins)
 	seed := a.cfg.Seed ^ pk.sig ^ (uint64(typeID)+1)*0x9e3779b97f4a7c15
-	p = sampling.NewPlan(layout, seed, !a.cfg.DisableTypeAware)
-	a.plans[pk] = p
+	p := sampling.NewPlan(layout, seed, !a.cfg.DisableTypeAware)
+	grown := make(map[planKey]*sampling.Plan, len(cur)+1)
+	for k, v := range cur {
+		grown[k] = v
+	}
+	grown[pk] = p
+	a.plans.Store(&grown)
 	return p
 }
 
@@ -275,19 +377,31 @@ func (a *ATM) plan(typeID int, layout sampling.Layout) *sampling.Plan {
 // At level 15 (p = 100%) the whole input is streamed element-wise; below
 // that, the cached shuffled index prefix selects the sampled bytes.
 func (a *ATM) HashKey(t *taskrt.Task, level int) uint64 {
+	return a.hashKeyInto(t, level, jenkins.NewStreaming(0))
+}
+
+// hashKeyInto is HashKey on a caller-owned hasher: the worker fast path,
+// free of allocation and locks.
+func (a *ATM) hashKeyInto(t *taskrt.Task, level int, h *jenkins.Streaming) uint64 {
 	ins := t.Inputs()
-	layout := sampling.LayoutOf(ins)
-	seed := a.cfg.Seed ^ layout.Signature() ^ (uint64(t.Type().ID())+1)*0xc2b2ae3d27d4eb4f
-	h := jenkins.NewStreaming(seed)
+	sig := sampling.SignatureOf(ins)
+	seed := a.cfg.Seed ^ sig ^ (uint64(t.Type().ID())+1)*0xc2b2ae3d27d4eb4f
+	h.ResetSeed(seed)
 	if level >= sampling.MaxPLevel {
 		for _, in := range ins {
 			in.HashWords(h)
 		}
 		return h.Sum64()
 	}
-	plan := a.plan(t.Type().ID(), layout)
+	plan := a.planFor(t.Type().ID(), sig, ins)
+	runs := plan.SegmentedRuns(level)
 	for i, offsets := range plan.Segmented(level) {
-		if len(offsets) > 0 {
+		if len(offsets) == 0 {
+			continue
+		}
+		if runs[i] != nil {
+			ins[i].HashSampleRuns(runs[i], h)
+		} else {
 			ins[i].HashSample(offsets, h)
 		}
 	}
@@ -324,7 +438,7 @@ func (a *ATM) verifyHit(e *Entry, t *taskrt.Task, level int) bool {
 			return false
 		}
 	}
-	plan := a.plan(t.Type().ID(), sampling.LayoutOf(ins))
+	plan := a.planFor(t.Type().ID(), sampling.SignatureOf(ins), ins)
 	for i, offsets := range plan.Segmented(level) {
 		for _, off := range offsets {
 			if ins[i].ByteAt(int(off)) != e.Ins[i].ByteAt(int(off)) {
@@ -353,90 +467,157 @@ func outputShapesMatch(a, b []region.Region) bool {
 	return true
 }
 
+// snapshotEntry builds (reusing pooled buffers when shapes allow) a THT
+// entry holding a copy of t's current outputs.
+func (a *ATM) snapshotEntry(t *taskrt.Task, key uint64, level int8, insSnap []region.Region) *Entry {
+	outs := t.Outputs()
+	e := a.tht.GetEntry()
+	if outputShapesMatch(e.Outs, outs) {
+		for i, o := range outs {
+			e.Outs[i].CopyFrom(o)
+		}
+	} else {
+		cloned := make([]region.Region, len(outs))
+		for i, o := range outs {
+			cloned[i] = o.Clone()
+		}
+		e.Outs = cloned
+	}
+	e.TypeID = t.Type().ID()
+	e.Key = key
+	e.Level = level
+	e.ProviderID = t.ID()
+	e.Ins = insSnap
+	return e
+}
+
 // OnReady implements taskrt.Memoizer: Fig. 1's ready-task protocol.
 func (a *ATM) OnReady(t *taskrt.Task, worker int) taskrt.Outcome {
 	ts := a.state(t.Type())
-	tracer := a.rt.Tracer()
+	sh := ts.shard(worker)
+	n := sh.tasks.Add(1)
+	ph, level := ts.load()
 
-	ts.mu.Lock()
-	ts.tasks++
-	ph, level := ts.phase, ts.level
-	if a.cfg.Mode == ModeDynamic {
+	if a.cfg.Mode == ModeDynamic && ts.hasExcl.Load() {
+		ts.mu.Lock()
 		for _, o := range t.Outputs() {
 			if ts.excluded[o] {
-				ts.excludedSkips++
-				ts.executed++
 				ts.mu.Unlock()
+				sh.excludedSkips.Add(1)
+				sh.executed.Add(1)
 				return taskrt.OutcomeRun // chaotic output: never memoize
 			}
 		}
+		ts.mu.Unlock()
 	}
-	ts.mu.Unlock()
 
-	tracer.SetState(worker, trace.StateHash)
-	h0 := time.Now()
-	key := a.HashKey(t, level)
-	hashNanos := time.Since(h0).Nanoseconds()
-	sc := &scratch{key: key, level: int8(level)}
+	tracer := a.rt.Tracer()
+	if tracer != nil {
+		tracer.SetState(worker, trace.StateHash)
+	}
+	timed := n <= timingWarmup || n%timingSample == 0
+	var h0 time.Time
+	if timed {
+		h0 = time.Now()
+	}
+	h := a.hasherFor(worker)
+	key := a.hashKeyInto(t, level, h)
+	var hashNanos int64
+	if timed {
+		hashNanos = time.Since(h0).Nanoseconds()
+		if n > timingWarmup {
+			hashNanos *= timingSample // sampled: extrapolate
+		}
+		sh.hashNanos.Add(hashNanos)
+	}
+
+	var insSnap []region.Region
 	if a.cfg.VerifyInputs {
-		sc.insSnap = make([]region.Region, len(t.Inputs()))
+		insSnap = make([]region.Region, len(t.Inputs()))
 		for i, in := range t.Inputs() {
-			sc.insSnap[i] = in.Clone()
+			insSnap[i] = in.Clone()
 		}
 	}
-	t.MemoScratch = sc
 
 	if ph == phaseTraining {
 		// Training: memoization is only emulated; the task always runs
 		// so τ can be measured against the stored outputs (§III-D).
-		if e := a.tht.Lookup(t.Type().ID(), key, sc.level); e != nil && outputShapesMatch(e.Outs, t.Outputs()) {
-			sc.trainEntry = e
+		sc := a.scratchFor(worker)
+		*sc = scratch{key: key, level: int8(level), timed: timed, insSnap: insSnap}
+		if e := a.tht.Lookup(t.Type().ID(), key, sc.level); e != nil {
+			if outputShapesMatch(e.Outs, t.Outputs()) {
+				sc.trainEntry = e // retained; released after grading
+			} else {
+				e.Release()
+			}
 		}
-		ts.mu.Lock()
-		ts.hashNanos += hashNanos
-		ts.executed++
-		ts.mu.Unlock()
+		t.MemoScratch = sc
+		sh.executed.Add(1)
 		return taskrt.OutcomeRun
 	}
 
 	// Steady state (or static / fixed-p from the start).
-	if e := a.tht.Lookup(t.Type().ID(), key, sc.level); e != nil && outputShapesMatch(e.Outs, t.Outputs()) &&
-		a.verifyHit(e, t, level) {
-		tracer.SetState(worker, trace.StateMemo)
-		c0 := time.Now()
-		for i, o := range t.Outputs() {
-			o.CopyFrom(e.Outs[i])
+	if e := a.tht.Lookup(t.Type().ID(), key, int8(level)); e != nil {
+		if outputShapesMatch(e.Outs, t.Outputs()) && a.verifyHit(e, t, level) {
+			if tracer != nil {
+				tracer.SetState(worker, trace.StateMemo)
+			}
+			var c0 time.Time
+			if timed {
+				c0 = time.Now()
+			}
+			for i, o := range t.Outputs() {
+				o.CopyFrom(e.Outs[i])
+			}
+			if timed {
+				copyNanos := time.Since(c0).Nanoseconds()
+				if n > timingWarmup {
+					copyNanos *= timingSample
+				}
+				sh.copyNanos.Add(copyNanos)
+			}
+			provider := e.ProviderID
+			e.Release()
+			sh.memoTHT.Add(1)
+			if tracer != nil {
+				tracer.Reuse(provider, t.ID(), level < sampling.MaxPLevel, false)
+			}
+			t.MemoScratch = nil
+			return taskrt.OutcomeMemoized
 		}
-		copyNanos := time.Since(c0).Nanoseconds()
-		ts.mu.Lock()
-		ts.memoTHT++
-		ts.hashNanos += hashNanos
-		ts.copyNanos += copyNanos
-		ts.mu.Unlock()
-		tracer.Reuse(e.ProviderID, t.ID(), level < sampling.MaxPLevel, false)
-		t.MemoScratch = nil
-		return taskrt.OutcomeMemoized
+		e.Release()
 	}
 
 	if !a.cfg.DisableIKT {
-		ik := iktKey{typeID: t.Type().ID(), key: key, level: sc.level}
+		ik := iktKey{typeID: t.Type().ID(), key: key, level: int8(level)}
 		inserted, deferred := a.ikt.Acquire(ik, t)
 		if deferred {
-			ts.mu.Lock()
-			ts.memoIKT++
-			ts.hashNanos += hashNanos
-			ts.mu.Unlock()
+			sh.memoIKT.Add(1)
 			t.MemoScratch = nil
 			return taskrt.OutcomeDeferred
 		}
-		sc.inIKT = inserted
-		sc.iktKey = ik
+		if inserted {
+			sc := a.scratchFor(worker)
+			*sc = scratch{key: key, level: int8(level), timed: timed, insSnap: insSnap, inIKT: true, iktKey: ik}
+			t.MemoScratch = sc
+			sh.executed.Add(1)
+			return taskrt.OutcomeRun
+		}
 	}
-	ts.mu.Lock()
-	ts.executed++
-	ts.hashNanos += hashNanos
-	ts.mu.Unlock()
+	sc := a.scratchFor(worker)
+	*sc = scratch{key: key, level: int8(level), timed: timed, insSnap: insSnap}
+	t.MemoScratch = sc
+	sh.executed.Add(1)
 	return taskrt.OutcomeRun
+}
+
+// scratchFor returns worker w's recycled scratch (or a fresh one for
+// out-of-band callers).
+func (a *ATM) scratchFor(w int) *scratch {
+	if w >= 0 && w < len(a.workers) {
+		return &a.workers[w].scratch
+	}
+	return new(scratch)
 }
 
 // OnFinished implements taskrt.Memoizer: Fig. 1's updateTHT&IKT() path,
@@ -448,32 +629,27 @@ func (a *ATM) OnFinished(t *taskrt.Task, worker int) {
 		return // excluded-output task: not memoized, not recorded
 	}
 	ts := a.state(t.Type())
+	sh := ts.shard(worker)
 	tracer := a.rt.Tracer()
 
 	if sc.trainEntry != nil {
-		a.grade(t, ts, sc)
+		a.grade(t, ts, sh, sc)
+		sc.trainEntry = nil
 		return
 	}
 
 	// Snapshot outputs into the THT.
-	tracer.SetState(worker, trace.StateMemo)
-	c0 := time.Now()
-	outs := make([]region.Region, len(t.Outputs()))
-	for i, o := range t.Outputs() {
-		outs[i] = o.Clone()
+	if tracer != nil {
+		tracer.SetState(worker, trace.StateMemo)
 	}
-	a.tht.Insert(&Entry{
-		TypeID:     t.Type().ID(),
-		Key:        sc.key,
-		Level:      sc.level,
-		ProviderID: t.ID(),
-		Outs:       outs,
-		Ins:        sc.insSnap,
-	})
-	copyNanos := time.Since(c0).Nanoseconds()
-	ts.mu.Lock()
-	ts.copyNanos += copyNanos
-	ts.mu.Unlock()
+	var c0 time.Time
+	if sc.timed {
+		c0 = time.Now()
+	}
+	a.tht.Insert(a.snapshotEntry(t, sc.key, sc.level, sc.insSnap))
+	if sc.timed {
+		sh.copyNanos.Add(time.Since(c0).Nanoseconds())
+	}
 
 	// Serve postponed copies (IKT waiters) and complete them.
 	if sc.inIKT {
@@ -482,7 +658,9 @@ func (a *ATM) OnFinished(t *taskrt.Task, worker int) {
 			for i, o := range w.Outputs() {
 				o.CopyFrom(t.Outputs()[i])
 			}
-			tracer.Reuse(t.ID(), w.ID(), int(sc.level) < sampling.MaxPLevel, true)
+			if tracer != nil {
+				tracer.Reuse(t.ID(), w.ID(), int(sc.level) < sampling.MaxPLevel, true)
+			}
 			a.rt.CompleteExternal(w)
 		}
 	}
@@ -490,21 +668,23 @@ func (a *ATM) OnFinished(t *taskrt.Task, worker int) {
 
 // grade measures a training-phase approximation: the task executed, so its
 // fresh outputs are the ground truth against the THT entry's prediction.
-func (a *ATM) grade(t *taskrt.Task, ts *typeState, sc *scratch) {
+func (a *ATM) grade(t *taskrt.Task, ts *typeState, sh *typeShard, sc *scratch) {
 	tau := metrics.Chebyshev(t.Outputs(), sc.trainEntry.Outs)
 	tauMax := t.Type().TauMax()
+	sc.trainEntry.Release()
 
 	ts.mu.Lock()
-	if ts.phase != phaseTraining || int(sc.level) != ts.level {
+	ph, level := ts.load()
+	if ph != phaseTraining || int(sc.level) != level {
 		// The level moved while this task was in flight; its grade is
 		// stale. Count it as a hit observation only.
-		ts.trainHits++
 		ts.mu.Unlock()
+		sh.trainHits.Add(1)
 		return
 	}
-	ts.trainHits++
+	sh.trainHits.Add(1)
 	if tau >= tauMax {
-		ts.trainFailures++
+		sh.trainFailures.Add(1)
 		alreadyChaotic := true
 		for _, o := range t.Outputs() {
 			if !ts.excluded[o] {
@@ -513,30 +693,24 @@ func (a *ATM) grade(t *taskrt.Task, ts *typeState, sc *scratch) {
 			ts.failCount[o]++
 			if ts.failCount[o] >= excludeAfter {
 				ts.excluded[o] = true
+				ts.hasExcl.Store(true)
 			}
 		}
 		// Failures on already-excluded (chaotic) outputs must not keep
 		// doubling p: raising it would not stabilize them (§III-D's
 		// rationale for the exclusion set).
-		if !alreadyChaotic && ts.level < sampling.MaxPLevel {
-			ts.level++ // double p
+		if !alreadyChaotic && level < sampling.MaxPLevel {
+			ts.phaseLevel.Store(packPhaseLevel(phaseTraining, level+1)) // double p
 			ts.successes = 0
 		}
 		ts.mu.Unlock()
 		// Refresh the stale prediction with the true outputs.
-		outs := make([]region.Region, len(t.Outputs()))
-		for i, o := range t.Outputs() {
-			outs[i] = o.Clone()
-		}
-		a.tht.Insert(&Entry{
-			TypeID: t.Type().ID(), Key: sc.key, Level: sc.level,
-			ProviderID: t.ID(), Outs: outs, Ins: sc.insSnap,
-		})
+		a.tht.Insert(a.snapshotEntry(t, sc.key, sc.level, sc.insSnap))
 		return
 	}
 	ts.successes++
 	if ts.successes >= t.Type().LTraining() {
-		ts.phase = phaseSteady
+		ts.phaseLevel.Store(packPhaseLevel(phaseSteady, level))
 	}
 	ts.mu.Unlock()
 }

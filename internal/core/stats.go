@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"atm/internal/sampling"
@@ -36,6 +35,8 @@ type TypeStats struct {
 	// ExcludedRegions is the exclusion-set size.
 	ExcludedRegions int
 	// HashTime and CopyTime aggregate ATM overheads on this type.
+	// Past a per-worker warmup they are sampled measurements scaled to
+	// the full task count, so treat them as estimates on long runs.
 	HashTime time.Duration
 	CopyTime time.Duration
 }
@@ -75,36 +76,39 @@ func (s Stats) TotalReuse() float64 {
 	return float64(memo) / float64(tasks)
 }
 
-// Stats snapshots the engine's counters.
+// Stats snapshots the engine's counters, summing the per-worker shards.
 func (a *ATM) Stats() Stats {
 	var st Stats
 	a.typeMu.Lock()
-	ids := make([]int, 0, len(a.types))
-	for id := range a.types {
-		ids = append(ids, id)
+	var states []*typeState
+	if sl := a.typeStates.Load(); sl != nil {
+		states = *sl
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		ts := a.types[id]
-		name := a.names[id]
+	for id, ts := range states {
+		if ts == nil {
+			continue
+		}
+		t := TypeStats{Name: a.names[id]}
+		for i := range ts.shards {
+			sh := &ts.shards[i]
+			t.Tasks += sh.tasks.Load()
+			t.Executed += sh.executed.Load()
+			t.MemoizedTHT += sh.memoTHT.Load()
+			t.MemoizedIKT += sh.memoIKT.Load()
+			t.TrainingHits += sh.trainHits.Load()
+			t.TrainingFailures += sh.trainFailures.Load()
+			t.ExcludedSkips += sh.excludedSkips.Load()
+			t.HashTime += time.Duration(sh.hashNanos.Load())
+			t.CopyTime += time.Duration(sh.copyNanos.Load())
+		}
+		ph, level := ts.load()
+		t.Level = level
+		t.P = sampling.PFromLevel(level)
+		t.Steady = ph == phaseSteady
 		ts.mu.Lock()
-		st.Types = append(st.Types, TypeStats{
-			Name:             name,
-			Tasks:            ts.tasks,
-			Executed:         ts.executed,
-			MemoizedTHT:      ts.memoTHT,
-			MemoizedIKT:      ts.memoIKT,
-			TrainingHits:     ts.trainHits,
-			TrainingFailures: ts.trainFailures,
-			ExcludedSkips:    ts.excludedSkips,
-			Level:            ts.level,
-			P:                sampling.PFromLevel(ts.level),
-			Steady:           ts.phase == phaseSteady,
-			ExcludedRegions:  len(ts.excluded),
-			HashTime:         time.Duration(ts.hashNanos),
-			CopyTime:         time.Duration(ts.copyNanos),
-		})
+		t.ExcludedRegions = len(ts.excluded)
 		ts.mu.Unlock()
+		st.Types = append(st.Types, t)
 	}
 	a.typeMu.Unlock()
 
@@ -121,9 +125,8 @@ func (a *ATM) Stats() Stats {
 // training has completed (the star markers of Fig. 5).
 func (a *ATM) ChosenLevel(tt *taskrt.TaskType) (level int, steady bool) {
 	ts := a.state(tt)
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	return ts.level, ts.phase == phaseSteady
+	ph, lv := ts.load()
+	return lv, ph == phaseSteady
 }
 
 // MemoryBytes reports ATM's extra memory footprint (THT payload).

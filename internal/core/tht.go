@@ -10,8 +10,11 @@ import (
 // Entry is one memoized task execution stored in the Task History Table:
 // the 8-byte hash key of the (sampled) inputs, the percentage level the
 // key was computed at, and a snapshot of the task's outputs. Entries are
-// immutable after insertion, which lets hit paths copy from them without
-// holding the bucket lock.
+// immutable while reachable, which lets hit paths copy from them without
+// holding the bucket lock; a reference count tracks the table's own
+// reference plus any in-flight readers, and an entry whose count drains
+// to zero is recycled through the table's pool so a steady insert/evict
+// stream stops allocating output buffers.
 type Entry struct {
 	TypeID     int
 	Key        uint64
@@ -22,16 +25,38 @@ type Entry struct {
 	// Config.VerifyInputs is set (the §III-E final-check variant).
 	Ins   []region.Region
 	bytes int64
+	refs  atomic.Int32
+	pool  *sync.Pool // set by Insert; nil entries are never recycled
+}
+
+// retain marks an in-flight reader. Callers must pair it with Release.
+func (e *Entry) retain() { e.refs.Add(1) }
+
+// Release drops one reference. Once the table and every reader are done
+// with the entry it returns to the insert pool for buffer reuse. Safe on
+// a nil entry.
+func (e *Entry) Release() {
+	if e == nil {
+		return
+	}
+	if e.refs.Add(-1) == 0 && e.pool != nil {
+		p := e.pool
+		e.pool = nil
+		p.Put(e)
+	}
 }
 
 // THT is the Task History Table of §III-A: 2^N buckets indexed by the low
 // N bits of the hash key, each holding up to M entries with FIFO
 // replacement. Each bucket is protected by its own RWMutex, supporting
 // exclusive writes and parallel reads exactly as the paper describes.
+// Buckets are ring buffers, so an insert into a full bucket overwrites
+// the oldest slot in O(1) instead of shifting the whole bucket.
 type THT struct {
 	mask    uint64
 	m       int
 	buckets []thtBucket
+	pool    sync.Pool // recycled *Entry values with dead output buffers
 
 	memBytes atomic.Int64
 	entries  atomic.Int64
@@ -42,7 +67,9 @@ type THT struct {
 
 type thtBucket struct {
 	mu      sync.RWMutex
-	entries []*Entry // FIFO: oldest first
+	entries []*Entry // ring: oldest at head
+	head    int
+	n       int
 }
 
 // NewTHT builds a THT with 2^nbits buckets of capacity m each. The paper's
@@ -58,46 +85,87 @@ func NewTHT(nbits, m int) *THT {
 	return &THT{mask: uint64(n - 1), m: m, buckets: make([]thtBucket, n)}
 }
 
-// Lookup returns the entry matching (typeID, key, level), or nil.
+// Lookup returns the entry matching (typeID, key, level), or nil. A
+// non-nil result is retained for the caller, who must Release it after
+// copying from it (the table cannot recycle it before that).
 func (t *THT) Lookup(typeID int, key uint64, level int8) *Entry {
 	t.lookups.Add(1)
 	b := &t.buckets[key&t.mask]
 	b.mu.RLock()
-	defer b.mu.RUnlock()
 	// Newest entries are most likely to match; scan back to front.
-	for i := len(b.entries) - 1; i >= 0; i-- {
-		e := b.entries[i]
+	for i := b.n - 1; i >= 0; i-- {
+		e := b.entries[(b.head+i)%len(b.entries)]
 		if e.Key == key && e.TypeID == typeID && e.Level == level {
+			e.retain()
+			b.mu.RUnlock()
 			t.hits.Add(1)
 			return e
 		}
 	}
+	b.mu.RUnlock()
 	return nil
 }
 
-// Insert adds e, evicting the bucket's oldest entry if it is full.
+// GetEntry returns a recycled entry (with its previous output buffers
+// still attached, for CopyFrom reuse when the shapes match) or a fresh
+// one.
+func (t *THT) GetEntry() *Entry {
+	if e, ok := t.pool.Get().(*Entry); ok && e != nil {
+		return e
+	}
+	return &Entry{}
+}
+
+// Insert adds e, evicting the bucket's oldest entry if it is full. The
+// entry's memory size is computed idempotently, so re-inserting an entry
+// (or inserting a recycled one) never double-counts.
 func (t *THT) Insert(e *Entry) {
+	var size int64
 	for _, o := range e.Outs {
-		e.bytes += int64(o.NumBytes())
+		size += int64(o.NumBytes())
 	}
 	for _, in := range e.Ins {
-		e.bytes += int64(in.NumBytes())
+		size += int64(in.NumBytes())
 	}
-	e.bytes += 8 + 8 + 8 // key + provider id + header, the paper's 8-byte key cost
+	size += 8 + 8 + 8 // key + provider id + header, the paper's 8-byte key cost
+	e.bytes = size
+	e.pool = &t.pool // set before publication: readers may Release anytime
+	e.retain()       // the table's reference
+	var old *Entry
 	b := &t.buckets[e.Key&t.mask]
 	b.mu.Lock()
-	if len(b.entries) >= t.m {
-		old := b.entries[0]
-		copy(b.entries, b.entries[1:])
-		b.entries = b.entries[:len(b.entries)-1]
+	if b.entries == nil {
+		c := 8
+		if c > t.m {
+			c = t.m
+		}
+		b.entries = make([]*Entry, c)
+	}
+	if b.n == t.m {
+		old = b.entries[b.head]
+		b.entries[b.head] = e
+		b.head = (b.head + 1) % len(b.entries)
+	} else {
+		if b.n == len(b.entries) {
+			grown := make([]*Entry, min(2*b.n, t.m))
+			for i := 0; i < b.n; i++ {
+				grown[i] = b.entries[(b.head+i)%len(b.entries)]
+			}
+			b.entries = grown
+			b.head = 0
+		}
+		b.entries[(b.head+b.n)%len(b.entries)] = e
+		b.n++
+	}
+	b.mu.Unlock()
+	t.memBytes.Add(size)
+	t.entries.Add(1)
+	if old != nil {
 		t.memBytes.Add(-old.bytes)
 		t.entries.Add(-1)
 		t.evicts.Add(1)
+		old.Release() // drop the table's reference; readers may linger
 	}
-	b.entries = append(b.entries, e)
-	b.mu.Unlock()
-	t.memBytes.Add(e.bytes)
-	t.entries.Add(1)
 }
 
 // MemoryBytes reports the table's current payload size (Table III's

@@ -1,0 +1,114 @@
+package jenkins
+
+import "math"
+
+// Bulk write paths: whole typed slices are folded into the lookup3 block
+// state in 12-byte strides without any per-element call or buffer
+// shuffling, producing exactly the byte stream the element-wise
+// WriteUint32/WriteUint64 calls would. They are the p = 100% hash fast
+// path: region.HashWords detects a sink that implements them.
+//
+// Alignment note: 4- and 8-byte elements return the buffer fill to zero
+// every three elements (lcm(4,12)/4, lcm(8,12)/8), so after at most two
+// single-element writes the tight block loops below take over.
+
+// WriteFloat64s adds the little-endian IEEE-754 bytes of every element.
+func (s *Streaming) WriteFloat64s(d []float64) {
+	i := 0
+	for ; i < len(d) && s.n != 0; i++ {
+		s.WriteUint64(math.Float64bits(d[i]))
+	}
+	if n := len(d) - i; n >= 3 {
+		s.initState()
+		a, b, c := s.a, s.b, s.c
+		for ; i+3 <= len(d); i += 3 {
+			u0 := math.Float64bits(d[i])
+			u1 := math.Float64bits(d[i+1])
+			u2 := math.Float64bits(d[i+2])
+			a += uint32(u0)
+			b += uint32(u0 >> 32)
+			c += uint32(u1)
+			a, b, c = mix(a, b, c)
+			a += uint32(u1 >> 32)
+			b += uint32(u2)
+			c += uint32(u2 >> 32)
+			a, b, c = mix(a, b, c)
+			s.total += 24
+		}
+		s.a, s.b, s.c = a, b, c
+	}
+	for ; i < len(d); i++ {
+		s.WriteUint64(math.Float64bits(d[i]))
+	}
+}
+
+// WriteFloat32s adds the little-endian IEEE-754 bytes of every element,
+// three elements per lookup3 block.
+func (s *Streaming) WriteFloat32s(d []float32) {
+	i := 0
+	for ; i < len(d) && s.n != 0; i++ {
+		s.WriteUint32(math.Float32bits(d[i]))
+	}
+	if len(d)-i >= 3 {
+		s.initState()
+		a, b, c := s.a, s.b, s.c
+		for ; i+3 <= len(d); i += 3 {
+			a += math.Float32bits(d[i])
+			b += math.Float32bits(d[i+1])
+			c += math.Float32bits(d[i+2])
+			a, b, c = mix(a, b, c)
+			s.total += 12
+		}
+		s.a, s.b, s.c = a, b, c
+	}
+	for ; i < len(d); i++ {
+		s.WriteUint32(math.Float32bits(d[i]))
+	}
+}
+
+// WriteInt32s adds the little-endian bytes of every element, three
+// elements per lookup3 block.
+func (s *Streaming) WriteInt32s(d []int32) {
+	i := 0
+	for ; i < len(d) && s.n != 0; i++ {
+		s.WriteUint32(uint32(d[i]))
+	}
+	if len(d)-i >= 3 {
+		s.initState()
+		a, b, c := s.a, s.b, s.c
+		for ; i+3 <= len(d); i += 3 {
+			a += uint32(d[i])
+			b += uint32(d[i+1])
+			c += uint32(d[i+2])
+			a, b, c = mix(a, b, c)
+			s.total += 12
+		}
+		s.a, s.b, s.c = a, b, c
+	}
+	for ; i < len(d); i++ {
+		s.WriteUint32(uint32(d[i]))
+	}
+}
+
+// WriteBytes adds p byte-for-byte, 12 bytes per block once aligned.
+func (s *Streaming) WriteBytes(p []byte) {
+	i := 0
+	for ; i < len(p) && s.n != 0; i++ {
+		_ = s.WriteByte(p[i])
+	}
+	if len(p)-i >= 12 {
+		s.initState()
+		a, b, c := s.a, s.b, s.c
+		for ; i+12 <= len(p); i += 12 {
+			a += le32(p[i : i+4])
+			b += le32(p[i+4 : i+8])
+			c += le32(p[i+8 : i+12])
+			a, b, c = mix(a, b, c)
+			s.total += 12
+		}
+		s.a, s.b, s.c = a, b, c
+	}
+	for ; i < len(p); i++ {
+		_ = s.WriteByte(p[i])
+	}
+}

@@ -1,0 +1,95 @@
+package jenkins
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestBulkWritesMatchElementwise pins the contract the region fast paths
+// rely on: every bulk Write*s method produces exactly the hash the
+// element-wise WriteUint32/WriteUint64/WriteByte stream would.
+func TestBulkWritesMatchElementwise(t *testing.T) {
+	f := func(seed uint64, d64 []float64, d32 []float32, i32 []int32, bs []byte, prefix uint8) bool {
+		// A prefix of single bytes exercises every buffer alignment.
+		pre := make([]byte, int(prefix%12))
+		for i := range pre {
+			pre[i] = byte(i * 7)
+		}
+
+		slow := NewStreaming(seed)
+		fast := NewStreaming(seed)
+		for _, b := range pre {
+			_ = slow.WriteByte(b)
+			_ = fast.WriteByte(b)
+		}
+
+		for _, v := range d64 {
+			slow.WriteUint64(math.Float64bits(v))
+		}
+		fast.WriteFloat64s(d64)
+		if slow.Sum64() != fast.Sum64() {
+			return false
+		}
+
+		for _, v := range d32 {
+			slow.WriteUint32(math.Float32bits(v))
+		}
+		fast.WriteFloat32s(d32)
+		if slow.Sum64() != fast.Sum64() {
+			return false
+		}
+
+		for _, v := range i32 {
+			slow.WriteUint32(uint32(v))
+		}
+		fast.WriteInt32s(i32)
+		if slow.Sum64() != fast.Sum64() {
+			return false
+		}
+
+		for _, b := range bs {
+			_ = slow.WriteByte(b)
+		}
+		fast.WriteBytes(bs)
+		return slow.Sum64() == fast.Sum64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteUint16MatchesBytes(t *testing.T) {
+	for align := 0; align < 12; align++ {
+		slow := NewStreaming(9)
+		fast := NewStreaming(9)
+		for i := 0; i < align; i++ {
+			_ = slow.WriteByte(byte(i))
+			_ = fast.WriteByte(byte(i))
+		}
+		u := uint16(0xbeef)
+		_ = slow.WriteByte(byte(u))
+		_ = slow.WriteByte(byte(u >> 8))
+		fast.WriteUint16(u)
+		if slow.Sum64() != fast.Sum64() {
+			t.Fatalf("align %d: WriteUint16 diverges from byte stream", align)
+		}
+	}
+}
+
+func TestResetSeed(t *testing.T) {
+	a := NewStreaming(1)
+	a.WriteUint64(42)
+	k1 := a.Sum64()
+	a.ResetSeed(2)
+	a.WriteUint64(42)
+	k2 := a.Sum64()
+	if k1 == k2 {
+		t.Fatal("different seeds must give different keys")
+	}
+	a.ResetSeed(1)
+	a.WriteUint64(42)
+	if a.Sum64() != k1 {
+		t.Fatal("ResetSeed must fully restore the seeded initial state")
+	}
+}

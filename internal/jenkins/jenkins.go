@@ -180,6 +180,14 @@ func (s *Streaming) Reset() {
 	s.started = false
 }
 
+// ResetSeed restores the hasher to its initial state under a new seed,
+// letting one hasher be reused across task types (the ATM per-worker
+// fast path relies on this to keep key computation allocation-free).
+func (s *Streaming) ResetSeed(seed uint64) {
+	s.seed = seed
+	s.Reset()
+}
+
 // WriteByte adds one byte to the hash stream. It never fails.
 func (s *Streaming) WriteByte(x byte) error {
 	s.buf[s.n] = x
@@ -221,6 +229,24 @@ func (s *Streaming) WriteUint32(u uint32) {
 	_ = s.WriteByte(byte(u >> 24))
 }
 
+// WriteUint16 adds u's 2 little-endian bytes. It serves the sampled-hash
+// path's short contiguous offset runs (type-aware MSB selection on 4-byte
+// elements produces byte pairs at p = 50%).
+func (s *Streaming) WriteUint16(u uint16) {
+	if s.n <= 10 {
+		s.buf[s.n] = byte(u)
+		s.buf[s.n+1] = byte(u >> 8)
+		s.n += 2
+		s.total += 2
+		if s.n == 12 {
+			s.flushFull()
+		}
+		return
+	}
+	_ = s.WriteByte(byte(u))
+	_ = s.WriteByte(byte(u >> 8))
+}
+
 // WriteUint64 adds u's 8 little-endian bytes (see WriteUint32).
 func (s *Streaming) WriteUint64(u uint64) {
 	if s.n <= 4 {
@@ -243,13 +269,19 @@ func (s *Streaming) WriteUint64(u uint64) {
 	s.WriteUint32(uint32(u >> 32))
 }
 
-func (s *Streaming) flushFull() {
+// initState lazily seeds the lookup3 running state before the first full
+// block is mixed.
+func (s *Streaming) initState() {
 	if !s.started {
 		s.a = 0xdeadbeef + uint32(s.seed)
 		s.b = s.a
 		s.c = s.a + uint32(s.seed>>32)
 		s.started = true
 	}
+}
+
+func (s *Streaming) flushFull() {
+	s.initState()
 	s.a += le32(s.buf[0:4])
 	s.b += le32(s.buf[4:8])
 	s.c += le32(s.buf[8:12])

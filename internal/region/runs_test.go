@@ -1,0 +1,133 @@
+package region
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// wordSink reassembles every write back into the little-endian byte
+// stream, so run-optimized emission can be compared byte-for-byte.
+type wordSink struct{ bs []byte }
+
+func (s *wordSink) WriteByte(b byte) error { s.bs = append(s.bs, b); return nil }
+func (s *wordSink) WriteUint16(u uint16)   { s.bs = append(s.bs, byte(u), byte(u>>8)) }
+func (s *wordSink) WriteUint32(u uint32) {
+	s.bs = append(s.bs, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+}
+func (s *wordSink) WriteUint64(u uint64) {
+	s.WriteUint32(uint32(u))
+	s.WriteUint32(uint32(u >> 32))
+}
+
+// byteOnlySink lacks the optional WriteUint16 capability, pinning the
+// fallback path.
+type byteOnlySink struct{ bs []byte }
+
+func (s *byteOnlySink) WriteByte(b byte) error { s.bs = append(s.bs, b); return nil }
+func (s *byteOnlySink) WriteUint32(u uint32) {
+	s.bs = append(s.bs, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+}
+func (s *byteOnlySink) WriteUint64(u uint64) {
+	s.WriteUint32(uint32(u))
+	s.WriteUint32(uint32(u >> 32))
+}
+
+// runsFromMask converts a selection bitmask over nbytes into the
+// flattened (start, length) encoding HashSampleRuns consumes, plus the
+// expanded offset list.
+func runsFromMask(mask []bool) (runs []int32, offsets []int32) {
+	n := len(mask)
+	for i := 0; i < n; {
+		if !mask[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < n && mask[j] {
+			j++
+		}
+		runs = append(runs, int32(i), int32(j-i))
+		for k := i; k < j; k++ {
+			offsets = append(offsets, int32(k))
+		}
+		i = j
+	}
+	return runs, offsets
+}
+
+func runsTestRegions() []Region {
+	f64 := NewFloat64(40)
+	f32 := NewFloat32(40)
+	i32 := NewInt32(40)
+	bs := NewBytes(160)
+	for i := 0; i < 40; i++ {
+		f64.Data[i] = float64(i)*1.7e-3 + 1e9
+		f32.Data[i] = float32(i) * -2.5e7
+		i32.Data[i] = int32(i*7919) - 1<<30
+	}
+	for i := range bs.Data {
+		bs.Data[i] = byte(i * 13)
+	}
+	return []Region{f64, f32, i32, bs}
+}
+
+// TestHashSampleRunsMatchesByteAt checks, for every region kind and for
+// arbitrary selection masks, that the run-optimized word emission yields
+// exactly the bytes ByteAt would — with and without the WriteUint16
+// capability.
+func TestHashSampleRunsMatchesByteAt(t *testing.T) {
+	f := func(seed uint64) bool {
+		for _, r := range runsTestRegions() {
+			mask := make([]bool, r.NumBytes())
+			s := seed
+			for i := range mask {
+				s = s*6364136223846793005 + 1442695040888963407
+				mask[i] = s>>62 != 0 // ~75% selected: long runs
+			}
+			runs, offsets := runsFromMask(mask)
+			var want []byte
+			for _, off := range offsets {
+				want = append(want, r.ByteAt(int(off)))
+			}
+			full := &wordSink{}
+			r.HashSampleRuns(runs, full)
+			bytesOnly := &byteOnlySink{}
+			r.HashSampleRuns(runs, bytesOnly)
+			if len(full.bs) != len(want) || len(bytesOnly.bs) != len(want) {
+				return false
+			}
+			for i := range want {
+				if full.bs[i] != want[i] || bytesOnly.bs[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashSampleRunsSingletons pins run-length-1 handling (every byte its
+// own run).
+func TestHashSampleRunsSingletons(t *testing.T) {
+	for _, r := range runsTestRegions() {
+		var runs []int32
+		var want []byte
+		for o := 0; o < r.NumBytes(); o += 3 {
+			runs = append(runs, int32(o), 1)
+			want = append(want, r.ByteAt(o))
+		}
+		s := &wordSink{}
+		r.HashSampleRuns(runs, s)
+		if len(s.bs) != len(want) {
+			t.Fatalf("%s: %d bytes, want %d", r.Kind(), len(s.bs), len(want))
+		}
+		for i := range want {
+			if s.bs[i] != want[i] {
+				t.Fatalf("%s: byte %d mismatch", r.Kind(), i)
+			}
+		}
+	}
+}

@@ -19,8 +19,10 @@
 package sampling
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"atm/internal/region"
 )
@@ -56,9 +58,20 @@ func (r *rng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// intn returns a uniform value in [0, n). n must be > 0.
+// intn returns a uniform value in [0, n). n must be > 0. It uses Lemire's
+// multiply-shift reduction with rejection, so the result is exactly
+// uniform — the plain modulo reduction it replaces biased small values by
+// up to 2^-32 relative error, which skewed long shuffles.
 func (r *rng) intn(n int) int {
-	return int(r.next() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.next(), un)
+	if lo < un {
+		thresh := -un % un // (2^64 - n) mod n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.next(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Layout describes the concatenated byte view of a task's inputs: one
@@ -104,6 +117,29 @@ func (l Layout) Signature() uint64 {
 	return h
 }
 
+// SignatureOf returns the Signature of LayoutOf(inputs) without
+// materializing the Layout: the allocation-free form the memoizer's hit
+// path uses to find its cached plan.
+func SignatureOf(inputs []region.Region) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	total := 0
+	for _, in := range inputs {
+		total += in.NumBytes()
+	}
+	mix(uint64(total))
+	start := 0
+	for _, in := range inputs {
+		mix(uint64(start))
+		mix(uint64(in.Kind().Size()))
+		start += in.NumBytes()
+	}
+	return h
+}
+
 // significance returns the byte's distance from the most significant byte
 // of its element: 0 for the MSB, elemSize-1 for the LSB. Regions use
 // little-endian byte numbering, so within an element the MSB is the byte
@@ -139,13 +175,17 @@ func (l Layout) segIndex(global int) int {
 // and split per input segment: hashing a fixed byte set in ascending
 // segment order is equivalent to hashing it in shuffle order (the set is
 // what matters) and lets regions stream their sampled bytes without
-// per-byte dispatch. Plans are safe for concurrent use.
+// per-byte dispatch. Each level's table is built once on first use and
+// published through an atomic pointer, so the hot hash path reads it
+// lock-free (one atomic load + array index) and levels that are never
+// sampled — notably level 15, which hashes whole regions — cost nothing.
 type Plan struct {
 	order  []int32
 	layout Layout
 
-	mu        sync.Mutex
-	segmented map[int][][]int32 // level -> per-segment sorted local offsets
+	buildMu   sync.Mutex
+	segmented [MaxPLevel + 1]atomic.Pointer[[][]int32] // level -> per-segment sorted local offsets
+	segRuns   [MaxPLevel + 1]atomic.Pointer[[][]int32] // level -> per-segment (start, len) run pairs
 }
 
 // NewPlan builds the shuffle plan for the layout. When typeAware is true
@@ -161,7 +201,7 @@ func NewPlan(l Layout, seed uint64, typeAware bool) *Plan {
 	r := &rng{state: seed ^ 0xa02e1f34c7d58b69}
 	if !typeAware {
 		shuffle(order, r)
-		return &Plan{order: order, layout: l, segmented: map[int][][]int32{}}
+		return &Plan{order: order, layout: l}
 	}
 	// Type-aware: stable-partition indexes by significance rank, then
 	// shuffle within each rank. Ranks are bounded by the largest element
@@ -183,7 +223,7 @@ func NewPlan(l Layout, seed uint64, typeAware bool) *Plan {
 		out = append(out, buckets[rk]...)
 		shuffle(out[start:], r)
 	}
-	return &Plan{order: out, layout: l, segmented: map[int][][]int32{}}
+	return &Plan{order: out, layout: l}
 }
 
 func shuffle(xs []int32, r *rng) {
@@ -222,14 +262,29 @@ func (p *Plan) Order() []int32 { return p.order }
 
 // Segmented returns, for each input segment of the plan's layout, the
 // sorted local byte offsets selected at the given p level. The result is
-// cached per level and must not be modified. Hashing these per-segment
+// built once per level, published atomically, and must not be modified;
+// steady-state lookups are lock-free (one atomic load plus an index),
+// safe for any number of concurrent readers. Hashing these per-segment
 // byte streams (segments in order) is the fast equivalent of hashing
 // Select(PFromLevel(level)) in shuffle order.
 func (p *Plan) Segmented(level int) [][]int32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if s, ok := p.segmented[level]; ok {
-		return s
+	if level < MinPLevel {
+		level = MinPLevel
+	}
+	if level > MaxPLevel {
+		level = MaxPLevel
+	}
+	if s := p.segmented[level].Load(); s != nil {
+		return *s
+	}
+	return p.buildSegmented(level)
+}
+
+func (p *Plan) buildSegmented(level int) [][]int32 {
+	p.buildMu.Lock()
+	defer p.buildMu.Unlock()
+	if s := p.segmented[level].Load(); s != nil {
+		return *s
 	}
 	sel := p.Select(PFromLevel(level))
 	segs := make([][]int32, len(p.layout.segs))
@@ -240,8 +295,55 @@ func (p *Plan) Segmented(level int) [][]int32 {
 	for _, s := range segs {
 		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	}
-	p.segmented[level] = segs
+	p.segmented[level].Store(&segs)
 	return segs
+}
+
+// SegmentedRuns returns, aligned with Segmented(level), each segment's
+// selected offsets re-encoded as flattened (start, length) pairs of
+// contiguous runs — or nil for a segment whose selection is run-poor
+// (encoding it would not shrink the stream), which callers should hash
+// via plain HashSample instead. Built once per level and published
+// atomically; the result must not be modified.
+func (p *Plan) SegmentedRuns(level int) [][]int32 {
+	if level < MinPLevel {
+		level = MinPLevel
+	}
+	if level > MaxPLevel {
+		level = MaxPLevel
+	}
+	if r := p.segRuns[level].Load(); r != nil {
+		return *r
+	}
+	segs := p.Segmented(level)
+	p.buildMu.Lock()
+	defer p.buildMu.Unlock()
+	if r := p.segRuns[level].Load(); r != nil {
+		return *r
+	}
+	runs := make([][]int32, len(segs))
+	for si, offs := range segs {
+		if len(offs) == 0 {
+			continue
+		}
+		var enc []int32
+		for i := 0; i < len(offs); {
+			j := i + 1
+			for j < len(offs) && offs[j] == offs[j-1]+1 {
+				j++
+			}
+			enc = append(enc, offs[i], int32(j-i))
+			i = j
+		}
+		// Worth it only when runs actually compress the stream: an
+		// all-singletons encoding would double the metadata and slow the
+		// emitter down relative to the plain byte loop.
+		if len(enc) <= len(offs) {
+			runs[si] = enc
+		}
+	}
+	p.segRuns[level].Store(&runs)
+	return runs
 }
 
 // Resolver maps global byte indexes of the concatenated view back to

@@ -1,0 +1,292 @@
+package taskrt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the runtime's work-stealing scheduler.
+//
+// Ready tasks live in two kinds of queues:
+//
+//   - Per-worker deques (Runtime.locals): a worker that readies a task by
+//     completing its last predecessor pushes it onto its own deque and, on
+//     its next scheduling decision, pops from the same end the policy
+//     dictates (LIFO pops the newest for locality and short reuse
+//     distances, FIFO the oldest). Thieves always steal the oldest task,
+//     so owner and thieves contend on opposite ends of the deque.
+//
+//   - A sharded injector (Runtime.inj): tasks readied by the master thread
+//     (Submit) or by external completions (CompleteExternal) round-robin
+//     across the shards; workers drain the shards when their own deque is
+//     empty, before resorting to stealing. With a single worker the
+//     injector collapses to one shard so the global FIFO/LIFO submission
+//     order of the old centralized queue is preserved exactly.
+//
+// Priorities (the OmpSs priority clause) are handled with per-priority
+// buckets inside each queue, allocated lazily and only consulted when a
+// prioritized type has been registered — unprioritized programs never pay
+// for them.
+//
+// Idle workers park on a condition variable. Producers hand out wake
+// tokens only when the parked-worker count is nonzero, so the busy steady
+// state pays a single atomic load per push. The park protocol (advertise
+// parked, rescan every queue, then sleep) makes lost wakeups impossible:
+// a producer that observes parked == 0 pushed its task before the worker
+// advertised, so the worker's rescan finds it.
+
+// taskRing is a growable ring buffer of tasks (oldest at head).
+type taskRing struct {
+	buf  []*Task
+	head int
+	n    int
+}
+
+func (r *taskRing) grow() {
+	c := len(r.buf) * 2
+	if c == 0 {
+		c = 8
+	}
+	nb := make([]*Task, c)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+func (r *taskRing) pushBack(t *Task) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
+	r.n++
+}
+
+func (r *taskRing) popFront() *Task {
+	if r.n == 0 {
+		return nil
+	}
+	t := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return t
+}
+
+func (r *taskRing) popBack() *Task {
+	if r.n == 0 {
+		return nil
+	}
+	i := (r.head + r.n - 1) & (len(r.buf) - 1)
+	t := r.buf[i]
+	r.buf[i] = nil
+	r.n--
+	return t
+}
+
+// prioRing is one lazily-created priority bucket.
+type prioRing struct {
+	pr   int
+	ring taskRing
+}
+
+// readyQ is one mutex-guarded scheduling queue: a plain ring for
+// priority-0 tasks plus optional per-priority buckets, kept sorted by
+// descending priority. It backs both the per-worker deques and the
+// injector shards.
+type readyQ struct {
+	mu    sync.Mutex
+	plain taskRing
+	prios []*prioRing  // sorted by pr descending; nil when unused
+	size  atomic.Int32 // total queued tasks; read lock-free by the wake heuristic
+	_     [20]byte     // pad to keep adjacent queues off one cache line
+}
+
+func (q *readyQ) bucket(pr int) *taskRing {
+	for _, b := range q.prios {
+		if b.pr == pr {
+			return &b.ring
+		}
+	}
+	nb := &prioRing{pr: pr}
+	q.prios = append(q.prios, nb)
+	for i := len(q.prios) - 1; i > 0 && q.prios[i-1].pr < pr; i-- {
+		q.prios[i], q.prios[i-1] = q.prios[i-1], q.prios[i]
+	}
+	return &nb.ring
+}
+
+// push enqueues t. pr is the task's effective priority (always 0 when the
+// runtime has no prioritized types, which keeps the plain ring hot).
+func (q *readyQ) push(t *Task, pr int) {
+	q.mu.Lock()
+	if pr == 0 {
+		q.plain.pushBack(t)
+	} else {
+		q.bucket(pr).pushBack(t)
+	}
+	q.size.Add(1)
+	q.mu.Unlock()
+}
+
+// pop dequeues the task the policy selects: the highest-priority bucket
+// wins; within a bucket FIFO takes the oldest task and LIFO the newest.
+// steal forces oldest-first regardless of policy (thieves steal FIFO).
+func (q *readyQ) pop(policy SchedPolicy, steal bool) *Task {
+	q.mu.Lock()
+	t := q.popLocked(policy, steal)
+	q.mu.Unlock()
+	return t
+}
+
+func (q *readyQ) popLocked(policy SchedPolicy, steal bool) *Task {
+	lifo := policy == PolicyLIFO && !steal
+	take := func(r *taskRing) *Task {
+		if lifo {
+			return r.popBack()
+		}
+		return r.popFront()
+	}
+	// Positive-priority buckets beat the plain (priority 0) ring, which
+	// beats negative buckets; q.prios is sorted descending.
+	for _, b := range q.prios {
+		if b.pr < 0 {
+			break
+		}
+		if t := take(&b.ring); t != nil {
+			q.size.Add(-1)
+			return t
+		}
+	}
+	if t := take(&q.plain); t != nil {
+		q.size.Add(-1)
+		return t
+	}
+	for _, b := range q.prios {
+		if b.pr >= 0 {
+			continue
+		}
+		if t := take(&b.ring); t != nil {
+			q.size.Add(-1)
+			return t
+		}
+	}
+	return nil
+}
+
+// ready enqueues a task whose dependences are satisfied. w is the worker
+// doing the readying, or -1 for the master thread / external completions.
+func (rt *Runtime) ready(t *Task, w int) {
+	if rt.tracer != nil {
+		rt.tracer.RQDepth(int(rt.depth.Add(1)))
+	}
+	if rt.priority.Load() {
+		// Prioritized programs funnel every ready task through one
+		// central shard: its per-priority buckets reproduce the old
+		// global queue's "highest priority first" order exactly, which
+		// decentralized deques cannot (a local priority-0 pop could
+		// overtake a queued high-priority task). Unprioritized programs —
+		// the common case — never take this branch.
+		rt.inj[0].push(t, t.typ.cfg.Priority)
+		rt.wake(1)
+		return
+	}
+	if w >= 0 {
+		q := &rt.locals[w]
+		q.push(t, 0)
+		// The pushing worker is guaranteed to return to its own deque, so
+		// the first queued task needs no wakeup; only surplus work (more
+		// than the owner can consume next) is advertised to thieves.
+		if q.size.Load() > 1 {
+			rt.wake(1)
+		}
+		return
+	}
+	// Stripe the injector in blocks of consecutive submissions rather
+	// than task-by-task: per-task round-robin resonates with periodic
+	// workloads (with 4 shards, a period-2 input tiling lands each
+	// pattern in its own shard, and each worker then only ever observes
+	// one pattern — which starves dynamic ATM's training of the
+	// cross-pattern comparisons it needs). Block striping keeps every
+	// shard a faithful, locally-FIFO sample of the submission stream.
+	shard := int((rt.injSeq.Add(1)-1)/injStripe) % len(rt.inj)
+	rt.inj[shard].push(t, 0)
+	rt.wake(1)
+}
+
+// injStripe is the number of consecutive master submissions that land in
+// the same injector shard.
+const injStripe = 32
+
+// wake hands n parked workers a wake token. The fast path (nobody parked)
+// is a single atomic load.
+func (rt *Runtime) wake(n int) {
+	if rt.parked.Load() == 0 {
+		return
+	}
+	rt.parkMu.Lock()
+	rt.tokens += n
+	if n == 1 {
+		rt.parkCond.Signal()
+	} else {
+		rt.parkCond.Broadcast()
+	}
+	rt.parkMu.Unlock()
+}
+
+// scan makes one full pass over every queue from worker w's point of
+// view: own deque first, then the injector shards, then stealing the
+// oldest task from a victim's deque.
+func (rt *Runtime) scan(w int) *Task {
+	if t := rt.locals[w].pop(rt.policy, false); t != nil {
+		return t
+	}
+	ns := len(rt.inj)
+	for i := 0; i < ns; i++ {
+		if t := rt.inj[(w+i)%ns].pop(rt.policy, false); t != nil {
+			return t
+		}
+	}
+	for i := 1; i < rt.workers; i++ {
+		if t := rt.locals[(w+i)%rt.workers].pop(rt.policy, true); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// next blocks until a task is available for worker w or the runtime
+// closes (nil).
+func (rt *Runtime) next(w int) *Task {
+	for {
+		if t := rt.scan(w); t != nil {
+			if rt.tracer != nil {
+				rt.tracer.RQDepth(int(rt.depth.Add(-1)))
+			}
+			return t
+		}
+		if rt.closed.Load() {
+			return nil
+		}
+		// Park protocol: advertise, rescan, then sleep. See the file
+		// comment for why this cannot lose a wakeup.
+		rt.parked.Add(1)
+		if t := rt.scan(w); t != nil {
+			rt.parked.Add(-1)
+			if rt.tracer != nil {
+				rt.tracer.RQDepth(int(rt.depth.Add(-1)))
+			}
+			return t
+		}
+		rt.parkMu.Lock()
+		for rt.tokens == 0 && !rt.closed.Load() {
+			rt.parkCond.Wait()
+		}
+		if rt.tokens > 0 {
+			rt.tokens--
+		}
+		rt.parkMu.Unlock()
+		rt.parked.Add(-1)
+	}
+}

@@ -13,6 +13,7 @@ package taskrt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"atm/internal/region"
 	"atm/internal/trace"
@@ -122,11 +123,21 @@ type Task struct {
 	id       uint64
 	typ      *TaskType
 	accesses []Access
-	ins      []region.Region // ModeIn + ModeInOut regions, declaration order
-	outs     []region.Region // ModeOut + ModeInOut regions, declaration order
+	// regions holds the ModeIn + ModeInOut regions (declaration order)
+	// followed by the ModeOut + ModeInOut regions; ninlen is the split
+	// point. Inputs/Outputs return the two halves.
+	regions []region.Region
+	ninlen  int32
 
-	// Dependence bookkeeping, guarded by Runtime.mu.
-	npred int
+	// Dependence bookkeeping. npred carries a large "submission guard"
+	// bias while the master wires the task, so a racing predecessor
+	// completion can never ready it early. succ1 is the lock-free fast
+	// path for the ubiquitous single-successor shape: it holds nil (no
+	// successor yet), the lone successor, or succDone once the task has
+	// completed. Additional successors spill to succs under mu.
+	npred atomic.Int32
+	succ1 atomic.Pointer[Task]
+	mu    sync.Mutex
 	succs []*Task
 	done  bool
 
@@ -134,6 +145,14 @@ type Task struct {
 	// key and lookup results computed in OnReady, consumed in
 	// OnFinished).
 	MemoScratch any
+
+	// Inline storage for the common small-task shape (≤2 accesses, ≤2
+	// successors): keeps Submit at one heap allocation per task and lets
+	// the caller's variadic access slice stay on its stack. Larger tasks
+	// spill to the heap, which their execution cost dwarfs.
+	accInline  [2]Access
+	regInline  [4]region.Region
+	succInline [2]*Task
 }
 
 // ID returns the task's creation-order identifier (Fig. 9's task id).
@@ -146,10 +165,10 @@ func (t *Task) Type() *TaskType { return t.typ }
 func (t *Task) Accesses() []Access { return t.accesses }
 
 // Inputs returns the data-input regions (in + inout), the bytes ATM hashes.
-func (t *Task) Inputs() []region.Region { return t.ins }
+func (t *Task) Inputs() []region.Region { return t.regions[:t.ninlen] }
 
 // Outputs returns the data-output regions (out + inout), what ATM copies.
-func (t *Task) Outputs() []region.Region { return t.outs }
+func (t *Task) Outputs() []region.Region { return t.regions[t.ninlen:] }
 
 // Region returns access i's region (convenience for task bodies).
 func (t *Task) Region(i int) region.Region { return t.accesses[i].Region }
@@ -235,32 +254,104 @@ type Config struct {
 }
 
 // Runtime is a task-dataflow runtime instance.
+//
+// Scheduling state is decentralized (see sched.go): each worker owns a
+// deque it pushes newly-readied successors onto and steals from peers
+// when empty; master-thread submissions go through a sharded injector.
+// The dependence registry (regs) is touched only by the master thread,
+// and per-task wiring is guarded by the tasks' own locks, so there is no
+// global runtime mutex on any hot path.
 type Runtime struct {
 	workers  int
 	memo     Memoizer
 	tracer   *trace.Tracer
 	policy   SchedPolicy
-	priority bool // any registered type has a non-zero priority
+	priority atomic.Bool // any registered type has a non-zero priority
+
+	typeMu   sync.Mutex
 	nextType int
 
-	mu      sync.Mutex // guards dependence registry, queue, counters
-	qcond   *sync.Cond
-	wcond   *sync.Cond
-	queue   []*Task
+	locals []readyQ // per-worker deques
+	inj    []readyQ // injector shards for master/external submissions
+	injSeq atomic.Uint32
+
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	parked   atomic.Int32
+	tokens   int
+
+	// Task accounting is split so the master and the workers never write
+	// the same cache line: submitted is master-only, completed is
+	// worker-side, and completers check for a sleeping Wait() only when
+	// the waiting flag (read-mostly, shared) says one exists.
+	waitMu    sync.Mutex
+	waitCond  *sync.Cond
+	waiters   int // guarded by waitMu
+	submitted atomic.Int64
+	completed atomic.Int64
+	waiting   atomic.Bool // true while waiters > 0
+
+	// Submission throttling (Nanos++-style task creation throttling): a
+	// master that outruns the workers is paused once maxBacklog tasks are
+	// in flight, keeping the live task graph cache-sized and GC pressure
+	// flat. throttled is read-mostly on the completion path.
+	throttleMu   sync.Mutex
+	throttleCond *sync.Cond
+	throttled    atomic.Bool
+
+	closed atomic.Bool
+	depth  atomic.Int64 // ready-task count, maintained only when tracing
+
+	// Master-thread-only state (Submit is single-goroutine by contract).
+	// Tasks are carved out of slabs so a submission storm costs one
+	// allocation per taskSlabSize tasks instead of one per task; a slab is
+	// collected wholesale once none of its tasks are referenced.
 	regs    map[region.Region]*regState
-	pending int
+	lastReg region.Region // 1-entry regs cache for same-region resubmits
+	lastRS  *regState
 	nextID  uint64
-	closed  bool
+	slab    []Task
+	slabOff int
 
 	wg sync.WaitGroup
 }
 
+// taskSlabSize is the number of Task structs per master-side slab.
+const taskSlabSize = 64
+
+// npredGuard is the submission-guard bias held in Task.npred while the
+// master wires dependences; it is far larger than any real predecessor
+// count, so concurrent completions can never drive npred to zero early.
+const npredGuard = 1 << 30
+
+// succDone marks a completed task in Task.succ1: once a predecessor's
+// slot holds it, no further successors may register there.
+var succDone = new(Task)
+
+// maxBacklog bounds submitted-but-uncompleted tasks; Submit pauses the
+// master above it and resumes below the low watermark (half). Every
+// in-flight task is executable without further submissions (dependences
+// point only backwards, and IKT-deferred tasks are completed by an
+// earlier in-flight provider), so throttling cannot deadlock.
+const maxBacklog = 4096
+
 // regState is the per-region dependence registry entry: the last task that
 // wrote the region and the readers since that write (the information OmpSs
-// keeps per address range).
+// keeps per address range). readerInline backs the readers list so the
+// common few-readers-per-write window allocates nothing; it is safe to
+// reuse after every writer because the registry is master-thread-only and
+// reader lists never outlive the next writer's wiring.
 type regState struct {
-	lastWriter *Task
-	readers    []*Task
+	lastWriter   *Task
+	readers      []*Task
+	readerInline [4]*Task
+}
+
+// clearReaders resets the reader list, nilling the inline slots so stale
+// *Task pointers do not keep completed tasks (and their slabs) reachable.
+func (rs *regState) clearReaders() {
+	rs.readers = nil
+	rs.readerInline = [4]*Task{}
 }
 
 // New starts a runtime with cfg.Workers workers. Call Close when done.
@@ -268,15 +359,25 @@ func New(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	nshards := 1
+	if cfg.Workers > 1 {
+		nshards = cfg.Workers
+		if nshards > 4 {
+			nshards = 4
+		}
+	}
 	rt := &Runtime{
 		workers: cfg.Workers,
 		memo:    cfg.Memoizer,
 		tracer:  cfg.Tracer,
 		policy:  cfg.Policy,
+		locals:  make([]readyQ, cfg.Workers),
+		inj:     make([]readyQ, nshards),
 		regs:    make(map[region.Region]*regState),
 	}
-	rt.qcond = sync.NewCond(&rt.mu)
-	rt.wcond = sync.NewCond(&rt.mu)
+	rt.parkCond = sync.NewCond(&rt.parkMu)
+	rt.waitCond = sync.NewCond(&rt.waitMu)
+	rt.throttleCond = sync.NewCond(&rt.throttleMu)
 	if b, ok := cfg.Memoizer.(RuntimeBinder); ok {
 		b.BindRuntime(rt)
 	}
@@ -295,12 +396,12 @@ func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
 
 // RegisterType registers a task type and returns it.
 func (rt *Runtime) RegisterType(cfg TypeConfig) *TaskType {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.typeMu.Lock()
+	defer rt.typeMu.Unlock()
 	tt := &TaskType{id: rt.nextType, cfg: cfg, rt: rt}
 	rt.nextType++
 	if cfg.Priority != 0 {
-		rt.priority = true
+		rt.priority.Store(true)
 	}
 	return tt
 }
@@ -310,47 +411,129 @@ func (rt *Runtime) RegisterType(cfg TypeConfig) *TaskType {
 // ready. Submit must be called from a single goroutine (the "master
 // thread"); task bodies must not submit.
 func (rt *Runtime) Submit(tt *TaskType, accesses ...Access) *Task {
-	t := &Task{typ: tt, accesses: accesses}
-	for _, a := range accesses {
-		if a.Mode == ModeIn || a.Mode == ModeInOut {
-			t.ins = append(t.ins, a.Region)
-		}
-		if a.Mode == ModeOut || a.Mode == ModeInOut {
-			t.outs = append(t.outs, a.Region)
-		}
-	}
-
-	master := rt.tracer.MasterLane()
-	rt.tracer.SetState(master, trace.StateCreate)
-
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
+	if rt.closed.Load() {
 		panic("taskrt: Submit after Close")
 	}
+	if rt.submitted.Load()-rt.completed.Load() >= maxBacklog {
+		rt.throttleMu.Lock()
+		rt.throttled.Store(true)
+		for rt.submitted.Load()-rt.completed.Load() >= maxBacklog/2 {
+			rt.throttleCond.Wait()
+		}
+		rt.throttled.Store(false)
+		rt.throttleMu.Unlock()
+	}
+	if rt.slabOff == len(rt.slab) {
+		rt.slab = make([]Task, taskSlabSize)
+		rt.slabOff = 0
+	}
+	t := &rt.slab[rt.slabOff]
+	rt.slabOff++
+	t.typ = tt
+	if len(accesses) <= len(t.accInline) {
+		t.accesses = t.accInline[:copy(t.accInline[:], accesses)]
+	} else {
+		t.accesses = make([]Access, len(accesses))
+		copy(t.accesses, accesses)
+	}
+	nin, nout := 0, 0
+	for _, a := range t.accesses {
+		if a.Mode == ModeIn || a.Mode == ModeInOut {
+			nin++
+		}
+		if a.Mode == ModeOut || a.Mode == ModeInOut {
+			nout++
+		}
+	}
+	if nin+nout > 0 {
+		var backing []region.Region
+		if nin+nout <= len(t.regInline) {
+			backing = t.regInline[:nin+nout]
+		} else {
+			backing = make([]region.Region, nin+nout)
+		}
+		i, o := 0, nin
+		for _, a := range t.accesses {
+			if a.Mode == ModeIn || a.Mode == ModeInOut {
+				backing[i] = a.Region
+				i++
+			}
+			if a.Mode == ModeOut || a.Mode == ModeInOut {
+				backing[o] = a.Region
+				o++
+			}
+		}
+		t.regions = backing
+		t.ninlen = int32(nin)
+	}
+
+	if rt.tracer != nil {
+		rt.tracer.SetState(rt.tracer.MasterLane(), trace.StateCreate)
+		rt.tracer.TaskCreated()
+	}
+
 	t.id = rt.nextID
 	rt.nextID++
-	rt.pending++
-	rt.tracer.TaskCreated()
+	rt.submitted.Add(1)
 
-	seen := map[*Task]bool{}
+	// The guard keeps racing predecessor completions from readying the
+	// task before its dependence wiring is finished: npred stays huge
+	// until the single balancing Add below, which also folds in the
+	// number of wired predecessors (one atomic op instead of one per
+	// predecessor).
+	t.npred.Store(npredGuard)
+	var seenBuf [8]*Task
+	seen := seenBuf[:0]
 	addPred := func(p *Task) {
-		if p == nil || p == t || p.done || seen[p] {
+		if p == nil || p == t {
 			return
 		}
-		seen[p] = true
+		for _, q := range seen {
+			if q == p {
+				return
+			}
+		}
+		if cur := p.succ1.Load(); cur == succDone {
+			return // p already completed
+		} else if cur == nil && p.succ1.CompareAndSwap(nil, t) {
+			seen = append(seen, p)
+			return
+		}
+		// Slot taken by another successor: spill under the lock.
+		p.mu.Lock()
+		if p.done {
+			p.mu.Unlock()
+			return
+		}
+		if p.succs == nil {
+			p.succs = p.succInline[:0]
+		}
 		p.succs = append(p.succs, t)
-		t.npred++
+		p.mu.Unlock()
+		seen = append(seen, p)
 	}
-	for _, a := range accesses {
-		rs := rt.regs[a.Region]
-		if rs == nil {
-			rs = &regState{}
-			rt.regs[a.Region] = rs
+	for _, a := range t.accesses {
+		rs := rt.lastRS
+		if a.Region != rt.lastReg {
+			rs = rt.regs[a.Region]
+			if rs == nil {
+				rs = &regState{}
+				rt.regs[a.Region] = rs
+			}
+			rt.lastReg, rt.lastRS = a.Region, rs
+		}
+		// Opportunistically drop a completed last writer (succ1 holds the
+		// succDone sentinel from completion onwards): a stale *Task in
+		// the registry pins the writer's whole allocation slab.
+		if lw := rs.lastWriter; lw != nil && lw.succ1.Load() == succDone {
+			rs.lastWriter = nil
 		}
 		switch a.Mode {
 		case ModeIn:
 			addPred(rs.lastWriter) // RAW
+			if rs.readers == nil {
+				rs.readers = rs.readerInline[:0]
+			}
 			rs.readers = append(rs.readers, t)
 		case ModeOut, ModeInOut:
 			addPred(rs.lastWriter) // WAW (and RAW for inout)
@@ -358,129 +541,154 @@ func (rt *Runtime) Submit(tt *TaskType, accesses ...Access) *Task {
 				addPred(r) // WAR
 			}
 			rs.lastWriter = t
-			rs.readers = nil
+			rs.clearReaders()
 			if a.Mode == ModeInOut {
+				rs.readers = rs.readerInline[:0]
 				rs.readers = append(rs.readers, t)
 			}
 		}
 	}
-	if t.npred == 0 {
-		rt.pushLocked(t)
+	if t.npred.Add(int32(len(seen))-npredGuard) == 0 {
+		rt.ready(t, -1)
 	}
-	rt.mu.Unlock()
 
-	rt.tracer.SetState(master, trace.StateOther)
-	return t
-}
-
-// pushLocked appends t to the ready queue. Caller holds rt.mu.
-func (rt *Runtime) pushLocked(t *Task) {
-	rt.queue = append(rt.queue, t)
-	rt.tracer.RQDepth(len(rt.queue))
-	rt.qcond.Signal()
-}
-
-// pop blocks until a task is ready or the runtime closes, then removes
-// and returns the task selected by the scheduling policy.
-func (rt *Runtime) pop() *Task {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	for len(rt.queue) == 0 && !rt.closed {
-		rt.qcond.Wait()
+	if rt.tracer != nil {
+		rt.tracer.SetState(rt.tracer.MasterLane(), trace.StateOther)
 	}
-	if len(rt.queue) == 0 {
-		return nil
-	}
-	idx := 0
-	if rt.policy == PolicyLIFO {
-		idx = len(rt.queue) - 1
-	}
-	if rt.priority {
-		// Highest priority wins; the policy breaks ties (FIFO keeps
-		// the earliest such task, LIFO the latest).
-		best := rt.queue[idx].typ.cfg.Priority
-		for i, c := range rt.queue {
-			p := c.typ.cfg.Priority
-			if p > best || (p == best && rt.policy == PolicyLIFO) {
-				best, idx = p, i
-			}
-		}
-	}
-	t := rt.queue[idx]
-	rt.queue = append(rt.queue[:idx], rt.queue[idx+1:]...)
-	rt.tracer.RQDepth(len(rt.queue))
 	return t
 }
 
 // worker is the per-worker loop: pull a ready task, consult the memoizer,
-// execute or skip, complete.
+// execute or skip, complete. A completion that readies a single successor
+// hands it straight back to the same worker (the inner loop), so serial
+// task chains run without touching any queue.
 func (rt *Runtime) worker(w int) {
 	defer rt.wg.Done()
 	for {
-		rt.tracer.SetState(w, trace.StateIdle)
-		t := rt.pop()
+		if rt.tracer != nil {
+			rt.tracer.SetState(w, trace.StateIdle)
+		}
+		t := rt.next(w)
 		if t == nil {
 			return
 		}
-		if rt.memo != nil && t.typ.cfg.Memoize {
-			switch rt.memo.OnReady(t, w) {
-			case OutcomeMemoized:
-				rt.complete(t)
-				continue
-			case OutcomeDeferred:
-				continue // the in-flight provider completes it
-			}
-			rt.tracer.SetState(w, trace.StateExec)
-			t.typ.cfg.Run(t)
-			rt.memo.OnFinished(t, w)
-		} else {
-			rt.tracer.SetState(w, trace.StateExec)
-			t.typ.cfg.Run(t)
+		for t != nil {
+			t = rt.step(t, w)
 		}
-		rt.complete(t)
 	}
 }
 
-// complete marks t done and releases its successors.
-func (rt *Runtime) complete(t *Task) {
-	rt.mu.Lock()
-	t.done = true
-	for _, s := range t.succs {
-		s.npred--
-		if s.npred == 0 {
-			rt.pushLocked(s)
+// step runs one scheduled task and returns the direct-handoff successor,
+// if any.
+func (rt *Runtime) step(t *Task, w int) *Task {
+	if rt.memo != nil && t.typ.cfg.Memoize {
+		switch rt.memo.OnReady(t, w) {
+		case OutcomeMemoized:
+			return rt.complete(t, w)
+		case OutcomeDeferred:
+			return nil // the in-flight provider completes it
+		}
+		if rt.tracer != nil {
+			rt.tracer.SetState(w, trace.StateExec)
+		}
+		t.typ.cfg.Run(t)
+		rt.memo.OnFinished(t, w)
+	} else {
+		if rt.tracer != nil {
+			rt.tracer.SetState(w, trace.StateExec)
+		}
+		t.typ.cfg.Run(t)
+	}
+	return rt.complete(t, w)
+}
+
+// complete marks t done and releases its successors. When called from a
+// worker (w >= 0) the first readied successor is returned for direct
+// handoff — the worker runs it next without a queue round-trip — and any
+// further ones go to the worker's own deque. External completions
+// (w == -1) route everything through the injector. Direct handoff is
+// skipped when prioritized types exist: a readied task must not overtake
+// a queued higher-priority one.
+func (rt *Runtime) complete(t *Task, w int) *Task {
+	var keep *Task
+	handoff := w >= 0 && !rt.priority.Load()
+	release := func(s *Task) {
+		if s.npred.Add(-1) == 0 {
+			if handoff && keep == nil {
+				keep = s
+			} else {
+				rt.ready(s, w)
+			}
 		}
 	}
-	t.succs = nil
-	rt.pending--
-	if rt.pending == 0 {
-		rt.wcond.Broadcast()
+	// Seal the fast-path successor slot first so no new registrations can
+	// race with collecting the spill list.
+	if s1 := t.succ1.Swap(succDone); s1 != nil && s1 != succDone {
+		release(s1)
 	}
-	rt.mu.Unlock()
+	t.mu.Lock()
+	t.done = true
+	succs := t.succs
+	t.succs = nil
+	t.mu.Unlock()
+	for i, s := range succs {
+		// Clear the slot: succs usually aliases t.succInline, and a stale
+		// *Task there would keep the successor's whole slab reachable.
+		succs[i] = nil
+		release(s)
+	}
+	done := rt.completed.Add(1)
+	if rt.waiting.Load() && done == rt.submitted.Load() {
+		rt.waitMu.Lock()
+		rt.waitCond.Broadcast()
+		rt.waitMu.Unlock()
+	}
+	if rt.throttled.Load() && rt.submitted.Load()-done <= maxBacklog/2 {
+		rt.throttleMu.Lock()
+		rt.throttleCond.Signal()
+		rt.throttleMu.Unlock()
+	}
+	return keep
 }
 
 // CompleteExternal completes a task that was deferred by the memoizer
 // (OutcomeDeferred) after its outputs have been provided. It must be
 // called exactly once per deferred task.
-func (rt *Runtime) CompleteExternal(t *Task) { rt.complete(t) }
+func (rt *Runtime) CompleteExternal(t *Task) { rt.complete(t, -1) }
 
 // Wait blocks until every submitted task has completed (taskwait/barrier).
 func (rt *Runtime) Wait() {
-	rt.mu.Lock()
-	for rt.pending > 0 {
-		rt.wcond.Wait()
+	if rt.completed.Load() == rt.submitted.Load() {
+		return
 	}
-	rt.mu.Unlock()
+	rt.waitMu.Lock()
+	rt.waiters++
+	rt.waiting.Store(true)
+	for rt.completed.Load() != rt.submitted.Load() {
+		rt.waitCond.Wait()
+	}
+	rt.waiters--
+	if rt.waiters == 0 {
+		rt.waiting.Store(false)
+	}
+	rt.waitMu.Unlock()
 }
 
 // Close waits for outstanding tasks, then stops the workers. The runtime
 // must not be used afterwards.
 func (rt *Runtime) Close() {
 	rt.Wait()
-	rt.mu.Lock()
-	rt.closed = true
-	rt.qcond.Broadcast()
-	rt.mu.Unlock()
+	rt.closed.Store(true)
+	rt.parkMu.Lock()
+	rt.parkCond.Broadcast()
+	rt.parkMu.Unlock()
 	rt.wg.Wait()
+	// Every task is complete; release the registry's task references so
+	// the slabs they pin can be collected even if the Runtime (or the
+	// caller's regions) stay reachable.
+	for _, rs := range rt.regs {
+		rs.lastWriter = nil
+		rs.clearReaders()
+	}
 	rt.tracer.Flush()
 }
