@@ -21,6 +21,7 @@ import (
 
 	"atm/internal/apps"
 	"atm/internal/harness"
+	"atm/internal/taskrt"
 )
 
 func main() {
@@ -34,8 +35,21 @@ func main() {
 		mode       = flag.String("mode", "dynamic", "stats experiment: baseline|static|dynamic|fixed")
 		level      = flag.Int("level", 15, "stats experiment: p level for -mode fixed")
 		noIKT      = flag.Bool("no-ikt", false, "stats experiment: disable the IKT")
+		batch      = flag.Int("batch", taskrt.DefaultBatchSize, "submission batch size (0 = per-task Submit)")
+		policyStr  = flag.String("policy", "fifo", "scheduling policy: fifo|lifo")
 	)
 	flag.Parse()
+
+	var policy taskrt.SchedPolicy
+	switch *policyStr {
+	case "fifo":
+		policy = taskrt.PolicyFIFO
+	case "lifo":
+		policy = taskrt.PolicyLIFO
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyStr)
+		os.Exit(2)
+	}
 
 	var scale apps.Scale
 	switch *scaleStr {
@@ -55,7 +69,15 @@ func main() {
 		Workers: *workers,
 		Repeats: *repeats,
 		Seed:    *seed,
+		Policy:  policy,
 		Out:     os.Stdout,
+	}
+	// -batch 0 means per-task Submit (the pre-batching baseline), which
+	// the runtime spells as a negative batch size; 0 would mean "default".
+	if *batch <= 0 {
+		opt.Batch = -1
+	} else {
+		opt.Batch = *batch
 	}
 	if *benchList != "" {
 		for _, b := range strings.Split(*benchList, ",") {
@@ -143,8 +165,9 @@ func runStats(opt harness.Options, mode string, level int, ikt bool) {
 		names = harness.Benchmarks()
 	}
 	for _, name := range names {
-		base := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, harness.Baseline(), harness.RunOptions{})
-		o := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, spec, harness.RunOptions{Seed: opt.Seed})
+		ro := harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy}
+		base := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, harness.Baseline(), ro)
+		o := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, spec, ro)
 		fmt.Printf("%s under %s: elapsed=%v speedup=%.2fx correctness=%.3f%% reuse=%.1f%%\n",
 			name, spec.Name(), o.Elapsed, harness.Speedup(base, o), o.App.Correctness(base.App), 100*o.Reuse())
 		for _, ts := range o.Stats.Types {

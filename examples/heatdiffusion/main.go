@@ -22,7 +22,9 @@ func run(spec string, memo *core.ATM) (time.Duration, apps.App) {
 	if memo != nil {
 		m = memo
 	}
-	rt := taskrt.New(taskrt.Config{Workers: 8, Memoizer: m})
+	// The stencil submits its block sweep through the batched pipeline;
+	// BatchSize 0 selects taskrt.DefaultBatchSize (64 tasks per batch).
+	rt := taskrt.New(taskrt.Config{Workers: 8, Memoizer: m, BatchSize: 0})
 	start := time.Now()
 	app.Run(rt)
 	elapsed := time.Since(start)

@@ -146,10 +146,14 @@ func (a *App) Run(rt *taskrt.Runtime) {
 			priceBlock(t.Float32s(0), t.Float32s(1))
 		},
 	})
+	// Independent per-block tasks in a flat loop: the ideal SubmitBatch
+	// shape (whole batches publish as one block push + one wake).
+	sb := rt.Batcher()
 	for it := 0; it < a.p.Iterations; it++ {
 		for b := range a.blocks {
-			rt.Submit(bsThread, taskrt.In(a.blocks[b]), taskrt.Out(a.prices[b]))
+			sb.Add(bsThread, taskrt.In(a.blocks[b]), taskrt.Out(a.prices[b]))
 		}
+		sb.Flush()
 		rt.Wait()
 	}
 }

@@ -185,9 +185,13 @@ func (a *App) Run(rt *taskrt.Runtime) {
 		},
 	})
 
+	// One batcher carries both task types: the fan-in update task lands
+	// in the same batch as (most of) the calc tasks it reads, so its
+	// wide dependence set is wired with plain intra-batch appends.
+	sb := rt.Batcher()
 	for it := 0; it < a.p.Iterations; it++ {
 		for b := 0; b < a.nblocks; b++ {
-			rt.Submit(calc,
+			sb.Add(calc,
 				taskrt.In(a.points[b]), taskrt.In(a.centers),
 				taskrt.Out(a.sums[b]), taskrt.Out(a.counts[b]))
 		}
@@ -199,8 +203,9 @@ func (a *App) Run(rt *taskrt.Runtime) {
 		for b := 0; b < a.nblocks; b++ {
 			accs = append(accs, taskrt.In(a.counts[b]))
 		}
-		rt.Submit(update, accs...)
+		sb.Add(update, accs...)
 	}
+	sb.Flush()
 	rt.Wait()
 }
 

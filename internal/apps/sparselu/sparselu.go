@@ -243,17 +243,21 @@ func (a *App) Run(rt *taskrt.Runtime) {
 		Run:       func(t *taskrt.Task) { bmod(t.Float32s(0), t.Float32s(1), t.Float32s(2), bs) },
 	})
 
+	// The k-loop nest is a regular submission stream: batch it so the
+	// master wires the dense intra-batch dependences (lu0→fwd/bdiv→bmod)
+	// without atomics and publishes ready tasks block-wise.
+	sb := rt.Batcher()
 	nb := a.p.NB
 	for k := 0; k < nb; k++ {
-		rt.Submit(tLU0, taskrt.InOut(a.blocks[k][k]))
+		sb.Add(tLU0, taskrt.InOut(a.blocks[k][k]))
 		for j := k + 1; j < nb; j++ {
 			if a.blocks[k][j] != nil {
-				rt.Submit(tFwd, taskrt.In(a.blocks[k][k]), taskrt.InOut(a.blocks[k][j]))
+				sb.Add(tFwd, taskrt.In(a.blocks[k][k]), taskrt.InOut(a.blocks[k][j]))
 			}
 		}
 		for i := k + 1; i < nb; i++ {
 			if a.blocks[i][k] != nil {
-				rt.Submit(tBdiv, taskrt.In(a.blocks[k][k]), taskrt.InOut(a.blocks[i][k]))
+				sb.Add(tBdiv, taskrt.In(a.blocks[k][k]), taskrt.InOut(a.blocks[i][k]))
 			}
 		}
 		for i := k + 1; i < nb; i++ {
@@ -270,12 +274,13 @@ func (a *App) Run(rt *taskrt.Runtime) {
 					// time on the master thread.
 					a.blocks[i][j] = region.NewFloat32(bs * bs)
 				}
-				rt.Submit(tBmod,
+				sb.Add(tBmod,
 					taskrt.In(a.blocks[i][k]), taskrt.In(a.blocks[k][j]),
 					taskrt.InOut(a.blocks[i][j]))
 			}
 		}
 	}
+	sb.Flush()
 	rt.Wait()
 }
 

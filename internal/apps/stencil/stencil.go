@@ -356,6 +356,11 @@ func (a *App) Run(rt *taskrt.Runtime) {
 		},
 	})
 
+	// Each block sweep is a regular loop nest: batch the copy-halo and
+	// stencil submissions so their dense intra-batch halo dependences
+	// are wired master-locally. The batcher must drain before every
+	// Wait barrier (Jacobi synchronizes per iteration).
+	sb := rt.Batcher()
 	cur, nxt := a.blocks, a.next
 	for it := 0; it < a.p.Iterations; it++ {
 		for i := 0; i < a.p.NB; i++ {
@@ -366,7 +371,7 @@ func (a *App) Run(rt *taskrt.Runtime) {
 				// previous iteration's — the classic GS wavefront.
 				for d := 0; d < 4; d++ {
 					if nb := a.neighbor(cur, i, j, d); nb != nil {
-						rt.Submit(copyTask, taskrt.In(nb), taskrt.Out(a.halos[i][j][d]))
+						sb.Add(copyTask, taskrt.In(nb), taskrt.Out(a.halos[i][j][d]))
 					}
 				}
 				n := a.haloFor(i, j, dirN)
@@ -374,11 +379,11 @@ func (a *App) Run(rt *taskrt.Runtime) {
 				w := a.haloFor(i, j, dirW)
 				e := a.haloFor(i, j, dirE)
 				if a.p.Variant == Jacobi {
-					rt.Submit(stencilGS,
+					sb.Add(stencilGS,
 						taskrt.In(cur[i][j]), taskrt.In(n), taskrt.In(s),
 						taskrt.In(w), taskrt.In(e), taskrt.Out(nxt[i][j]))
 				} else {
-					rt.Submit(stencilGS,
+					sb.Add(stencilGS,
 						taskrt.InOut(cur[i][j]), taskrt.In(n), taskrt.In(s),
 						taskrt.In(w), taskrt.In(e))
 				}
@@ -386,10 +391,12 @@ func (a *App) Run(rt *taskrt.Runtime) {
 		}
 		if a.p.Variant == Jacobi {
 			// The algorithm synchronizes at the end of each iteration.
+			sb.Flush()
 			rt.Wait()
 			cur, nxt = nxt, cur
 		}
 	}
+	sb.Flush()
 	rt.Wait()
 	a.finalInNext = a.p.Variant == Jacobi && a.p.Iterations%2 == 1
 }

@@ -217,9 +217,11 @@ func (a *App) Run(rt *taskrt.Runtime) {
 			price(t.Float64s(0), t.Float64s(1), trials, steps)
 		},
 	})
+	sb := rt.Batcher()
 	for i := range a.inputs {
-		rt.Submit(hjm, taskrt.In(a.inputs[i]), taskrt.Out(a.results[i]))
+		sb.Add(hjm, taskrt.In(a.inputs[i]), taskrt.Out(a.results[i]))
 	}
+	sb.Flush()
 	rt.Wait()
 }
 

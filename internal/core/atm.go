@@ -191,9 +191,14 @@ func (ts *typeState) load() (phase, int) {
 // across tasks: OnReady and OnFinished for a task always run on the same
 // worker, with no other task of that worker's in between.
 type scratch struct {
-	key        uint64
-	level      int8
-	timed      bool
+	key   uint64
+	level int8
+	timed bool
+	// tscale is the extrapolation factor for sampled timings (1 during
+	// warmup, timingSample after), applied to both the OnReady hash
+	// measurement and the OnFinished snapshot-copy measurement so
+	// aggregate HashTime/CopyTime stay representative.
+	tscale     int64
 	trainEntry *Entry // training-phase THT hit to grade after execution (retained)
 	iktKey     iktKey
 	inIKT      bool
@@ -244,6 +249,7 @@ type planKey struct {
 var (
 	_ taskrt.Memoizer      = (*ATM)(nil)
 	_ taskrt.RuntimeBinder = (*ATM)(nil)
+	_ taskrt.BatchObserver = (*ATM)(nil)
 )
 
 // New builds an ATM engine. Pass it as taskrt.Config.Memoizer; the runtime
@@ -275,6 +281,35 @@ func (a *ATM) THT() *THT { return a.tht }
 
 // IKT exposes the in-flight table (for statistics and tests).
 func (a *ATM) IKT() *IKT { return a.ikt }
+
+// OnBatchSubmitted implements taskrt.BatchObserver: it runs on the master
+// thread after a batch's dependences are fully wired but before any of
+// its tasks can reach a worker, so the engine-side state a ready task
+// needs is prepared batch-wide instead of lazily on the worker hot path.
+// Per memoizable type (deduplicated against the consecutive same-type
+// runs loop nests produce) it materializes the typeState — the one
+// stateSlow mutex acquisition a type would otherwise pay under worker
+// contention — and pre-builds the shuffle plan for the batch's input
+// layout, so the first OnReady of a new (type, layout) pair finds the
+// copy-on-write plan map already populated.
+func (a *ATM) OnBatchSubmitted(tasks []*taskrt.Task) {
+	var last *taskrt.TaskType
+	for _, t := range tasks {
+		tt := t.Type()
+		if tt == last || !tt.Config().Memoize {
+			continue
+		}
+		last = tt
+		ts := a.state(tt)
+		ins := t.Inputs()
+		if len(ins) == 0 {
+			continue
+		}
+		if _, level := ts.load(); level < sampling.MaxPLevel {
+			a.planFor(tt.ID(), sampling.SignatureOf(ins), ins)
+		}
+	}
+}
 
 // state returns (creating if needed) the per-type adaptive state. The hit
 // path costs one atomic load and an index into the dense type slice.
@@ -516,6 +551,10 @@ func (a *ATM) OnReady(t *taskrt.Task, worker int) taskrt.Outcome {
 		tracer.SetState(worker, trace.StateHash)
 	}
 	timed := n <= timingWarmup || n%timingSample == 0
+	tscale := int64(1)
+	if n > timingWarmup {
+		tscale = timingSample
+	}
 	var h0 time.Time
 	if timed {
 		h0 = time.Now()
@@ -524,10 +563,7 @@ func (a *ATM) OnReady(t *taskrt.Task, worker int) taskrt.Outcome {
 	key := a.hashKeyInto(t, level, h)
 	var hashNanos int64
 	if timed {
-		hashNanos = time.Since(h0).Nanoseconds()
-		if n > timingWarmup {
-			hashNanos *= timingSample // sampled: extrapolate
-		}
+		hashNanos = time.Since(h0).Nanoseconds() * tscale // sampled: extrapolate
 		sh.hashNanos.Add(hashNanos)
 	}
 
@@ -543,7 +579,7 @@ func (a *ATM) OnReady(t *taskrt.Task, worker int) taskrt.Outcome {
 		// Training: memoization is only emulated; the task always runs
 		// so τ can be measured against the stored outputs (§III-D).
 		sc := a.scratchFor(worker)
-		*sc = scratch{key: key, level: int8(level), timed: timed, insSnap: insSnap}
+		*sc = scratch{key: key, level: int8(level), timed: timed, tscale: tscale, insSnap: insSnap}
 		if e := a.tht.Lookup(t.Type().ID(), key, sc.level); e != nil {
 			if outputShapesMatch(e.Outs, t.Outputs()) {
 				sc.trainEntry = e // retained; released after grading
@@ -570,11 +606,7 @@ func (a *ATM) OnReady(t *taskrt.Task, worker int) taskrt.Outcome {
 				o.CopyFrom(e.Outs[i])
 			}
 			if timed {
-				copyNanos := time.Since(c0).Nanoseconds()
-				if n > timingWarmup {
-					copyNanos *= timingSample
-				}
-				sh.copyNanos.Add(copyNanos)
+				sh.copyNanos.Add(time.Since(c0).Nanoseconds() * tscale)
 			}
 			provider := e.ProviderID
 			e.Release()
@@ -598,14 +630,14 @@ func (a *ATM) OnReady(t *taskrt.Task, worker int) taskrt.Outcome {
 		}
 		if inserted {
 			sc := a.scratchFor(worker)
-			*sc = scratch{key: key, level: int8(level), timed: timed, insSnap: insSnap, inIKT: true, iktKey: ik}
+			*sc = scratch{key: key, level: int8(level), timed: timed, tscale: tscale, insSnap: insSnap, inIKT: true, iktKey: ik}
 			t.MemoScratch = sc
 			sh.executed.Add(1)
 			return taskrt.OutcomeRun
 		}
 	}
 	sc := a.scratchFor(worker)
-	*sc = scratch{key: key, level: int8(level), timed: timed, insSnap: insSnap}
+	*sc = scratch{key: key, level: int8(level), timed: timed, tscale: tscale, insSnap: insSnap}
 	t.MemoScratch = sc
 	sh.executed.Add(1)
 	return taskrt.OutcomeRun
@@ -648,7 +680,10 @@ func (a *ATM) OnFinished(t *taskrt.Task, worker int) {
 	}
 	a.tht.Insert(a.snapshotEntry(t, sc.key, sc.level, sc.insSnap))
 	if sc.timed {
-		sh.copyNanos.Add(time.Since(c0).Nanoseconds())
+		// Extrapolate by the same factor as the OnReady measurements:
+		// past warmup only every timingSample-th task is timed, and an
+		// unscaled add would under-report CopyTime ~64x.
+		sh.copyNanos.Add(time.Since(c0).Nanoseconds() * sc.tscale)
 	}
 
 	// Serve postponed copies (IKT waiters) and complete them.

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"atm/internal/region"
+	"atm/internal/sampling"
+	"atm/internal/taskrt"
+)
+
+// TestOnBatchSubmittedWarmsEngineState pins the BatchObserver integration:
+// a batch submitted through SubmitBatch must leave the memoizable types'
+// typeState materialized and (below p = 100%) their shuffle plans built
+// before any worker consults them, so the first OnReady of a new type or
+// layout finds everything by atomic loads.
+func TestOnBatchSubmittedWarmsEngineState(t *testing.T) {
+	a := New(Config{Mode: ModeDynamic})
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: a})
+	defer rt.Close()
+
+	gate := make(chan struct{})
+	hold := rt.RegisterType(taskrt.TypeConfig{Name: "hold", Run: func(*taskrt.Task) { <-gate }})
+	memo := rt.RegisterType(taskrt.TypeConfig{Name: "memo", Memoize: true, Run: func(*taskrt.Task) {}})
+	plain := rt.RegisterType(taskrt.TypeConfig{Name: "plain", Run: func(*taskrt.Task) {}})
+
+	// Hold the lone worker so nothing of the batch reaches OnReady: the
+	// state observed afterwards can only come from OnBatchSubmitted.
+	rt.Submit(hold, taskrt.Out(region.NewFloat64(1)))
+
+	in, out := region.NewFloat64(64), region.NewFloat64(64)
+	rt.SubmitBatch([]taskrt.BatchEntry{
+		taskrt.Desc(memo, taskrt.In(in), taskrt.Out(out)),
+		taskrt.Desc(plain, taskrt.Out(region.NewFloat64(1))),
+	})
+
+	if sl := a.typeStates.Load(); sl == nil || memo.ID() >= len(*sl) || (*sl)[memo.ID()] == nil {
+		t.Fatal("memoizable type state not materialized by OnBatchSubmitted")
+	} else if plain.ID() < len(*sl) && (*sl)[plain.ID()] != nil {
+		t.Fatal("non-memoizable type must not get engine state")
+	}
+	pk := planKey{typeID: memo.ID(), sig: sampling.SignatureOf([]region.Region{in})}
+	if m := a.plans.Load(); m == nil || (*m)[pk] == nil {
+		t.Fatal("shuffle plan not pre-built for the batch's input layout")
+	}
+
+	close(gate)
+	rt.Wait()
+}

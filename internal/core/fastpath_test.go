@@ -143,6 +143,9 @@ func TestTHTInsertIdempotentSize(t *testing.T) {
 // TestEntryRecycleReusesBuffers checks the pool round-trip: an evicted,
 // released entry's output buffers come back from GetEntry.
 func TestEntryRecycleReusesBuffers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode drops sync.Pool puts at random; recycling is not assertable")
+	}
 	tht := NewTHT(0, 1) // capacity 1: second insert evicts the first
 	e1 := entryWith(0, 1, 15, 1, 2)
 	tht.Insert(e1)
@@ -173,6 +176,9 @@ func TestLookupHoldsEvictedEntry(t *testing.T) {
 		t.Fatal("held entry corrupted after eviction")
 	}
 	held.Release() // now it may be pooled
+	if raceEnabled {
+		return // race mode drops sync.Pool puts at random
+	}
 	for i := 0; i < 4; i++ {
 		if tht.GetEntry() == e1 {
 			return // recycled after the last reference dropped

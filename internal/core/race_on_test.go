@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled mirrors the runtime's race.Enabled for tests whose
+// assertions depend on sync.Pool round-trips: in race mode the runtime
+// intentionally drops Pool.Put calls at random, so pool-recycling
+// outcomes are not assertable.
+const raceEnabled = true

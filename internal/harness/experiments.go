@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"atm/internal/apps"
+	"atm/internal/taskrt"
 	"atm/internal/trace"
 )
 
@@ -21,6 +22,11 @@ type Options struct {
 	Benchmarks []string
 	// Seed perturbs ATM's sampling plans.
 	Seed uint64
+	// Batch is the submission batch size (0 = runtime default,
+	// negative = per-task Submit).
+	Batch int
+	// Policy selects the scheduling discipline (FIFO by default).
+	Policy taskrt.SchedPolicy
 	// Out receives the report.
 	Out io.Writer
 }
@@ -32,7 +38,9 @@ func (o *Options) names() []string {
 	return o.Benchmarks
 }
 
-func (o *Options) runOpt() RunOptions { return RunOptions{Seed: o.Seed} }
+func (o *Options) runOpt() RunOptions {
+	return RunOptions{Seed: o.Seed, Batch: o.Batch, Policy: o.Policy}
+}
 
 // Table1 reproduces Table I: benchmark descriptions with measured task
 // counts and input sizes.
@@ -42,7 +50,7 @@ func Table1(opt Options) {
 	t.row("Benchmark", "TaskInputBytes", "InputKinds", "MemoizedTaskType", "MemoTasks", "AllTasks", "CorrectnessOn")
 	for _, name := range opt.names() {
 		f := FactoryFor(name)
-		o := RunOne(f, opt.Scale, opt.Workers, Dynamic(true), RunOptions{Trace: true, Seed: opt.Seed})
+		o := RunOne(f, opt.Scale, opt.Workers, Dynamic(true), RunOptions{Trace: true, Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
 		var memoName string
 		var memoTasks int64
 		for _, ts := range o.Stats.Types {
@@ -332,7 +340,7 @@ func Fig7(opt Options) {
 	fmt.Fprintf(opt.Out, "Fig. 7: Gauss-Seidel trace, ATM state widths at 2 vs %d cores (scale=%s)\n", opt.Workers, opt.Scale)
 	f := FactoryFor("GS")
 	for _, cores := range []int{2, opt.Workers} {
-		o := RunOne(f, opt.Scale, cores, Dynamic(true), RunOptions{Detail: true, Seed: opt.Seed})
+		o := RunOne(f, opt.Scale, cores, Dynamic(true), RunOptions{Detail: true, Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
 		fmt.Fprintf(opt.Out, "\n%d cores (elapsed %v):\n", cores, o.Elapsed.Round(time.Millisecond))
 		t := newTable(opt.Out)
 		t.row("Core", "Profile")
@@ -373,7 +381,7 @@ func Fig8(opt Options) {
 	fmt.Fprintf(opt.Out, "Fig. 8: Blackscholes task creation throughput (scale=%s, workers=%d)\n", opt.Scale, opt.Workers)
 	f := FactoryFor("Blackscholes")
 	for _, spec := range []ATMSpec{Dynamic(true), Baseline()} {
-		o := RunOne(f, opt.Scale, opt.Workers, spec, RunOptions{Detail: true, Seed: opt.Seed})
+		o := RunOne(f, opt.Scale, opt.Workers, spec, RunOptions{Detail: true, Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
 		fmt.Fprintf(opt.Out, "\n%s (elapsed %v):\n", spec.Name(), o.Elapsed.Round(time.Millisecond))
 		durs := o.Tracer.Durations()
 		t := newTable(opt.Out)
@@ -406,7 +414,7 @@ func Fig8(opt Options) {
 func Fig9(opt Options) {
 	fmt.Fprintf(opt.Out, "Fig. 9: redundancy generation (scale=%s); columns: normalized task id, cumulative reuse\n", opt.Scale)
 	for _, name := range opt.names() {
-		o := RunOne(FactoryFor(name), opt.Scale, opt.Workers, Dynamic(true), RunOptions{Trace: true, Seed: opt.Seed})
+		o := RunOne(FactoryFor(name), opt.Scale, opt.Workers, Dynamic(true), RunOptions{Trace: true, Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
 		xs, ys := o.Tracer.CumulativeReuse()
 		fmt.Fprintf(opt.Out, "\n%s: %d reuse-generating tasks, reuse %.1f%%\n", name, len(xs), 100*o.Reuse())
 		step := 1

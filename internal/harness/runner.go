@@ -117,6 +117,12 @@ type RunOptions struct {
 	Trace bool
 	// Seed perturbs ATM's shuffle plans.
 	Seed uint64
+	// Batch is the submission batch size handed to taskrt.Config:
+	// 0 = runtime default, negative = per-task Submit (the before/after
+	// knob of atmbench's -batch flag).
+	Batch int
+	// Policy selects the scheduling discipline (zero value = FIFO).
+	Policy taskrt.SchedPolicy
 }
 
 // RunOne builds a fresh workload and executes it once under the spec.
@@ -136,7 +142,7 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 		memo = core.New(core.Config{Mode: spec.Mode, FixedLevel: spec.Level, DisableIKT: !spec.IKT, Seed: opt.Seed})
 		m = memo
 	}
-	rt := taskrt.New(taskrt.Config{Workers: workers, Memoizer: m, Tracer: tr})
+	rt := taskrt.New(taskrt.Config{Workers: workers, Memoizer: m, Tracer: tr, Policy: opt.Policy, BatchSize: opt.Batch})
 
 	start := time.Now()
 	app.Run(rt)

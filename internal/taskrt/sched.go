@@ -17,22 +17,34 @@ import (
 //     so owner and thieves contend on opposite ends of the deque.
 //
 //   - A sharded injector (Runtime.inj): tasks readied by the master thread
-//     (Submit) or by external completions (CompleteExternal) round-robin
-//     across the shards; workers drain the shards when their own deque is
-//     empty, before resorting to stealing. With a single worker the
-//     injector collapses to one shard so the global FIFO/LIFO submission
-//     order of the old centralized queue is preserved exactly.
+//     (Submit/SubmitBatch) or by external completions (CompleteExternal)
+//     round-robin across the shards; workers drain the shards when their
+//     own deque is empty, before resorting to stealing. With a single
+//     worker the injector collapses to one shard so the global FIFO/LIFO
+//     submission order of the old centralized queue is preserved exactly.
+//     SubmitBatch publishes each batch's initially-ready tasks as block
+//     pushes — one lock acquisition per stripe instead of one per task.
 //
 // Priorities (the OmpSs priority clause) are handled with per-priority
 // buckets inside each queue, allocated lazily and only consulted when a
 // prioritized type has been registered — unprioritized programs never pay
 // for them.
 //
+// Victim selection is topology-aware: stealOrder lists LLC-sharing
+// workers before remote ones (a stolen task's inputs are then likelier
+// to be read from the shared cache slice rather than across the die),
+// and every scan starts at a per-worker pseudorandom position within
+// each tier so thieves do not probe victims in lockstep — the convoy
+// that a fixed round-robin order produces when many workers go idle at
+// once.
+//
 // Idle workers park on a condition variable. Producers hand out wake
 // tokens only when the parked-worker count is nonzero, so the busy steady
-// state pays a single atomic load per push. The park protocol (advertise
-// parked, rescan every queue, then sleep) makes lost wakeups impossible:
-// a producer that observes parked == 0 pushed its task before the worker
+// state pays a single atomic load per push; multi-task events (batch
+// publication, wide fan-out completions) issue one wake of min(n, parked)
+// rather than n independent signals. The park protocol (advertise parked,
+// rescan every queue, then sleep) makes lost wakeups impossible: a
+// producer that observes parked == 0 pushed its task before the worker
 // advertised, so the worker's rescan finds it.
 
 // taskRing is a growable ring buffer of tasks (oldest at head).
@@ -130,6 +142,31 @@ func (q *readyQ) push(t *Task, pr int) {
 	q.mu.Unlock()
 }
 
+// pushBlock enqueues a block of priority-0 tasks under one lock.
+func (q *readyQ) pushBlock(ts []*Task) {
+	q.mu.Lock()
+	for _, t := range ts {
+		q.plain.pushBack(t)
+	}
+	q.size.Add(int32(len(ts)))
+	q.mu.Unlock()
+}
+
+// pushBlockPrio enqueues a block of tasks into their per-type priority
+// buckets under one lock (the prioritized-program batch publish path).
+func (q *readyQ) pushBlockPrio(ts []*Task) {
+	q.mu.Lock()
+	for _, t := range ts {
+		if pr := t.typ.cfg.Priority; pr == 0 {
+			q.plain.pushBack(t)
+		} else {
+			q.bucket(pr).pushBack(t)
+		}
+	}
+	q.size.Add(int32(len(ts)))
+	q.mu.Unlock()
+}
+
 // pop dequeues the task the policy selects: the highest-priority bucket
 // wins; within a bucket FIFO takes the oldest task and LIFO the newest.
 // steal forces oldest-first regardless of policy (thieves steal FIFO).
@@ -175,9 +212,12 @@ func (q *readyQ) popLocked(policy SchedPolicy, steal bool) *Task {
 	return nil
 }
 
-// ready enqueues a task whose dependences are satisfied. w is the worker
-// doing the readying, or -1 for the master thread / external completions.
-func (rt *Runtime) ready(t *Task, w int) {
+// enqueue places a ready task on the queue the readying context dictates,
+// without waking anyone: callers coalesce their wakes (a completion that
+// readies k successors, or a batch publish of k tasks, issues a single
+// wake sized to k). w is the worker doing the readying, or -1 for the
+// master thread / external completions.
+func (rt *Runtime) enqueue(t *Task, w int) {
 	if rt.tracer != nil {
 		rt.tracer.RQDepth(int(rt.depth.Add(1)))
 	}
@@ -189,18 +229,10 @@ func (rt *Runtime) ready(t *Task, w int) {
 		// overtake a queued high-priority task). Unprioritized programs —
 		// the common case — never take this branch.
 		rt.inj[0].push(t, t.typ.cfg.Priority)
-		rt.wake(1)
 		return
 	}
 	if w >= 0 {
-		q := &rt.locals[w]
-		q.push(t, 0)
-		// The pushing worker is guaranteed to return to its own deque, so
-		// the first queued task needs no wakeup; only surplus work (more
-		// than the owner can consume next) is advertised to thieves.
-		if q.size.Load() > 1 {
-			rt.wake(1)
-		}
+		rt.locals[w].push(t, 0)
 		return
 	}
 	// Stripe the injector in blocks of consecutive submissions rather
@@ -212,32 +244,101 @@ func (rt *Runtime) ready(t *Task, w int) {
 	// shard a faithful, locally-FIFO sample of the submission stream.
 	shard := int((rt.injSeq.Add(1)-1)/injStripe) % len(rt.inj)
 	rt.inj[shard].push(t, 0)
+}
+
+// ready enqueues one master-readied task and wakes at most one worker
+// (the single-task Submit path; multi-task producers use enqueue + one
+// coalesced wake, or publishBlock).
+func (rt *Runtime) ready(t *Task) {
+	rt.enqueue(t, -1)
 	rt.wake(1)
+}
+
+// publishBlock publishes a batch's initially-ready tasks: block pushes
+// (one lock acquisition per injector stripe, or one total for
+// prioritized programs) followed by a single wake sized to the number of
+// tasks actually pushed.
+func (rt *Runtime) publishBlock(block []*Task) {
+	n := len(block)
+	if n == 0 {
+		return
+	}
+	if rt.tracer != nil {
+		for range block {
+			rt.tracer.RQDepth(int(rt.depth.Add(1)))
+		}
+	}
+	if rt.priority.Load() {
+		rt.inj[0].pushBlockPrio(block)
+		rt.wake(n)
+		return
+	}
+	// Reserve a contiguous stripe range so interleaved Submit calls and
+	// batches stripe coherently, then push each stripe as one block.
+	base := rt.injSeq.Add(uint32(n)) - uint32(n)
+	ns := len(rt.inj)
+	for i := 0; i < n; {
+		seq := base + uint32(i)
+		shard := int(seq/injStripe) % ns
+		j := i + int(injStripe-seq%injStripe)
+		if j > n {
+			j = n
+		}
+		rt.inj[shard].pushBlock(block[i:j])
+		i = j
+	}
+	rt.wake(n)
 }
 
 // injStripe is the number of consecutive master submissions that land in
 // the same injector shard.
 const injStripe = 32
 
-// wake hands n parked workers a wake token. The fast path (nobody parked)
-// is a single atomic load.
+// wake hands up to n parked workers a wake token, clamped to the number
+// actually parked so a wide fan-out cannot bank surplus tokens (which
+// would bleed out later as spurious wakeups). Exactly n Signals are
+// issued — a Broadcast would rouse every parked worker just to have all
+// but n of them find no token and re-sleep, the herd this coalescing
+// exists to avoid. The fast path (nobody parked) is a single atomic
+// load.
 func (rt *Runtime) wake(n int) {
-	if rt.parked.Load() == 0 {
+	if n <= 0 {
 		return
+	}
+	if p := int(rt.parked.Load()); p == 0 {
+		return
+	} else if n > p {
+		n = p
 	}
 	rt.parkMu.Lock()
 	rt.tokens += n
-	if n == 1 {
+	for i := 0; i < n; i++ {
 		rt.parkCond.Signal()
-	} else {
-		rt.parkCond.Broadcast()
 	}
 	rt.parkMu.Unlock()
 }
 
+// workerLocal is per-worker scheduler state touched only by its owner,
+// padded against false sharing. rng drives the randomized steal start.
+type workerLocal struct {
+	rng uint64
+	_   [56]byte
+}
+
+// nextRand advances worker w's xorshift64 state.
+func (rt *Runtime) nextRand(w int) uint64 {
+	x := rt.wlocal[w].rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	rt.wlocal[w].rng = x
+	return x
+}
+
 // scan makes one full pass over every queue from worker w's point of
 // view: own deque first, then the injector shards, then stealing the
-// oldest task from a victim's deque.
+// oldest task from a victim's deque — LLC-sharing victims first, each
+// tier probed from a pseudorandom starting offset (see the file comment).
 func (rt *Runtime) scan(w int) *Task {
 	if t := rt.locals[w].pop(rt.policy, false); t != nil {
 		return t
@@ -248,8 +349,21 @@ func (rt *Runtime) scan(w int) *Task {
 			return t
 		}
 	}
-	for i := 1; i < rt.workers; i++ {
-		if t := rt.locals[(w+i)%rt.workers].pop(rt.policy, true); t != nil {
+	order := rt.stealOrder[w]
+	if len(order) == 0 {
+		return nil
+	}
+	r := int(rt.nextRand(w) >> 33) // top bits: xorshift lows are weaker
+	near, far := order[:rt.stealSplit[w]], order[rt.stealSplit[w]:]
+	for i := 0; i < len(near); i++ {
+		v := near[(r+i)%len(near)]
+		if t := rt.locals[v].pop(rt.policy, true); t != nil {
+			return t
+		}
+	}
+	for i := 0; i < len(far); i++ {
+		v := far[(r+i)%len(far)]
+		if t := rt.locals[v].pop(rt.policy, true); t != nil {
 			return t
 		}
 	}

@@ -216,17 +216,19 @@ func TestLIFOEquivalenceSingleWorker(t *testing.T) {
 	}
 }
 
-// TestThrottleReleasesAndCompletes drives far more than maxBacklog
-// dependent tasks through a single worker so the submission throttle
-// engages and releases repeatedly.
+// TestThrottleReleasesAndCompletes drives far more than the throttle
+// window of dependent tasks through a single worker so the submission
+// throttle engages and releases repeatedly. A fixed window pins the
+// watermark (the adaptive one would grow past these tiny tasks).
 func TestThrottleReleasesAndCompletes(t *testing.T) {
-	rt := New(Config{Workers: 1})
+	const window = 512
+	rt := New(Config{Workers: 1, ThrottleWindow: window})
 	defer rt.Close()
 	a := region.NewInt32(1)
 	tt := rt.RegisterType(TypeConfig{Name: "inc", Run: func(task *Task) {
 		task.Int32s(0)[0]++
 	}})
-	const n = 3 * maxBacklog
+	const n = 6 * window
 	for i := 0; i < n; i++ {
 		rt.Submit(tt, InOut(a))
 	}

@@ -125,7 +125,9 @@ type Task struct {
 	accesses []Access
 	// regions holds the ModeIn + ModeInOut regions (declaration order)
 	// followed by the ModeOut + ModeInOut regions; ninlen is the split
-	// point. Inputs/Outputs return the two halves.
+	// point. Inputs/Outputs return the two halves. The partition is
+	// computed lazily by ensureRegions on first use, so non-memoized
+	// tasks never pay for it on the submission path.
 	regions []region.Region
 	ninlen  int32
 
@@ -146,10 +148,12 @@ type Task struct {
 	// OnFinished).
 	MemoScratch any
 
-	// Inline storage for the common small-task shape (≤2 accesses, ≤2
-	// successors): keeps Submit at one heap allocation per task and lets
-	// the caller's variadic access slice stay on its stack. Larger tasks
-	// spill to the heap, which their execution cost dwarfs.
+	// Inline storage for the common small-task shape (≤2 accesses — hence
+	// ≤4 regions, since an inout access lands in both halves — and ≤2
+	// successors): keeps submission and the lazy partition at zero
+	// steady-state heap allocations per task and lets the caller's
+	// variadic access slice stay on its stack. Larger tasks spill to the
+	// heap, which their execution cost dwarfs.
 	accInline  [2]Access
 	regInline  [4]region.Region
 	succInline [2]*Task
@@ -164,11 +168,57 @@ func (t *Task) Type() *TaskType { return t.typ }
 // Accesses returns the declared accesses in declaration order.
 func (t *Task) Accesses() []Access { return t.accesses }
 
+// ensureRegions computes the input/output region partition on first use.
+// It must be called only by the task's current exclusive owner — the
+// master before publication, or the worker the task is scheduled on —
+// which is how every caller (the Memoizer hooks, tests after Wait)
+// reaches it; the ownership handoffs (queue mutexes, npred atomics, the
+// IKT lock for deferred tasks) order the write for later readers.
+func (t *Task) ensureRegions() {
+	if t.regions != nil || len(t.accesses) == 0 {
+		return
+	}
+	nin, nout := 0, 0
+	for _, a := range t.accesses {
+		if a.Mode == ModeIn || a.Mode == ModeInOut {
+			nin++
+		}
+		if a.Mode == ModeOut || a.Mode == ModeInOut {
+			nout++
+		}
+	}
+	var backing []region.Region
+	if nin+nout <= len(t.regInline) {
+		backing = t.regInline[:nin+nout]
+	} else {
+		backing = make([]region.Region, nin+nout)
+	}
+	i, o := 0, nin
+	for _, a := range t.accesses {
+		if a.Mode == ModeIn || a.Mode == ModeInOut {
+			backing[i] = a.Region
+			i++
+		}
+		if a.Mode == ModeOut || a.Mode == ModeInOut {
+			backing[o] = a.Region
+			o++
+		}
+	}
+	t.ninlen = int32(nin)
+	t.regions = backing
+}
+
 // Inputs returns the data-input regions (in + inout), the bytes ATM hashes.
-func (t *Task) Inputs() []region.Region { return t.regions[:t.ninlen] }
+func (t *Task) Inputs() []region.Region {
+	t.ensureRegions()
+	return t.regions[:t.ninlen]
+}
 
 // Outputs returns the data-output regions (out + inout), what ATM copies.
-func (t *Task) Outputs() []region.Region { return t.regions[t.ninlen:] }
+func (t *Task) Outputs() []region.Region {
+	t.ensureRegions()
+	return t.regions[t.ninlen:]
+}
 
 // Region returns access i's region (convenience for task bodies).
 func (t *Task) Region(i int) region.Region { return t.accesses[i].Region }
@@ -218,6 +268,17 @@ type RuntimeBinder interface {
 	BindRuntime(rt *Runtime)
 }
 
+// BatchObserver is optionally implemented by memoizers that want to see
+// whole submitted batches. SubmitBatch calls OnBatchSubmitted after every
+// task of the batch has been carved and its dependences fully wired, but
+// before any task of the batch can be published to a worker — so the
+// memoizer never observes a half-wired batch, and whatever per-type or
+// per-layout state it prepares here is guaranteed to be in place before
+// the first OnReady of the batch.
+type BatchObserver interface {
+	OnBatchSubmitted(tasks []*Task)
+}
+
 // SchedPolicy selects the ready-queue discipline, mirroring the scheduler
 // plugins of Nanos++ (the paper's runtime exposes breadth-first and
 // depth-first schedulers; memoization behavior is policy-independent but
@@ -251,6 +312,16 @@ type Config struct {
 	Tracer *trace.Tracer
 	// Policy selects the ready-queue discipline (default FIFO).
 	Policy SchedPolicy
+	// BatchSize is the batch size handed to Batcher(): 0 means
+	// DefaultBatchSize, 1 or negative degrades Batcher to per-task
+	// Submit (the before/after knob of cmd/atmbench's -batch flag).
+	BatchSize int
+	// ThrottleWindow fixes the submission-throttle high watermark (the
+	// maximum number of submitted-but-uncompleted tasks). Zero selects
+	// the adaptive watermark: an EWMA of observed task payload bytes
+	// sizes the window so the live task graph stays at roughly half the
+	// last-level cache.
+	ThrottleWindow int
 }
 
 // Runtime is a task-dataflow runtime instance.
@@ -292,15 +363,27 @@ type Runtime struct {
 	waiting   atomic.Bool // true while waiters > 0
 
 	// Submission throttling (Nanos++-style task creation throttling): a
-	// master that outruns the workers is paused once maxBacklog tasks are
-	// in flight, keeping the live task graph cache-sized and GC pressure
-	// flat. throttled is read-mostly on the completion path.
+	// master that outruns the workers is paused once backlogHigh tasks
+	// are in flight, keeping the live task graph cache-sized and GC
+	// pressure flat. throttled is read-mostly on the completion path.
+	// backlogHigh is the current high watermark; with an adaptive window
+	// (Config.ThrottleWindow == 0) the master retunes it from a payload
+	// EWMA so live-graph bytes track llcTarget, and completers read it
+	// atomically for the low-watermark check.
 	throttleMu   sync.Mutex
 	throttleCond *sync.Cond
 	throttled    atomic.Bool
+	backlogHigh  atomic.Int64
 
 	closed atomic.Bool
 	depth  atomic.Int64 // ready-task count, maintained only when tracing
+
+	// Victim selection: stealOrder[w] lists worker w's victims with
+	// LLC-sharing workers first (stealSplit[w] is the tier boundary);
+	// see topology.go and sched.go.
+	stealOrder [][]int32
+	stealSplit []int
+	wlocal     []workerLocal
 
 	// Master-thread-only state (Submit is single-goroutine by contract).
 	// Tasks are carved out of slabs so a submission storm costs one
@@ -312,6 +395,23 @@ type Runtime struct {
 	nextID  uint64
 	slab    []Task
 	slabOff int
+
+	// Adaptive-throttle state (master-only): a sampled EWMA of task
+	// payload bytes, refreshed into backlogHigh every watermarkRefresh
+	// samples.
+	payloadEWMA float64
+	noteSeq     uint64
+	ewmaTasks   int
+	llcTarget   int64
+	fixedWindow bool
+
+	// SubmitBatch scratch (master-only), reused across batches.
+	batchNpred []int32
+	batchReady []*Task
+	batchObs   BatchObserver
+	batchSize  int
+	ptrSlab    []*Task
+	ptrOff     int
 
 	wg sync.WaitGroup
 }
@@ -328,12 +428,26 @@ const npredGuard = 1 << 30
 // slot holds it, no further successors may register there.
 var succDone = new(Task)
 
-// maxBacklog bounds submitted-but-uncompleted tasks; Submit pauses the
-// master above it and resumes below the low watermark (half). Every
-// in-flight task is executable without further submissions (dependences
-// point only backwards, and IKT-deferred tasks are completed by an
-// earlier in-flight provider), so throttling cannot deadlock.
-const maxBacklog = 4096
+// Submission-throttle sizing: the high watermark bounds submitted-but-
+// uncompleted tasks; Submit/SubmitBatch pause the master above it and
+// resume below the low watermark (half). Every in-flight task is
+// executable without further submissions (dependences point only
+// backwards, and IKT-deferred tasks are completed by an earlier
+// in-flight provider), so throttling cannot deadlock. The adaptive
+// watermark starts at defaultBacklog and is retuned every
+// watermarkRefresh payload samples (one task in eight is sampled) to
+// llcTarget / (payload EWMA + task overhead), clamped to
+// [minBacklog, maxBacklogCap].
+const (
+	defaultBacklog    = 4096
+	minBacklog        = 64
+	maxBacklogCap     = 16384
+	watermarkRefresh  = 64
+	taskOverheadBytes = 256 // approximate Task struct + queue footprint
+)
+
+// DefaultBatchSize is the Batcher batch size when Config.BatchSize is 0.
+const DefaultBatchSize = 64
 
 // regState is the per-region dependence registry entry: the last task that
 // wrote the region and the readers since that write (the information OmpSs
@@ -347,11 +461,20 @@ type regState struct {
 	readerInline [4]*Task
 }
 
-// clearReaders resets the reader list, nilling the inline slots so stale
-// *Task pointers do not keep completed tasks (and their slabs) reachable.
+// clearReaders resets the reader list, nilling the populated inline slots
+// so stale *Task pointers do not keep completed tasks (and their slabs)
+// reachable. Slots beyond len(readers) are nil by induction (only append
+// through readers writes them), so the common reader-free write-after-
+// write chain pays no pointer stores at all.
 func (rs *regState) clearReaders() {
+	n := len(rs.readers)
+	if n > len(rs.readerInline) {
+		n = len(rs.readerInline)
+	}
+	for i := 0; i < n; i++ {
+		rs.readerInline[i] = nil
+	}
 	rs.readers = nil
-	rs.readerInline = [4]*Task{}
 }
 
 // New starts a runtime with cfg.Workers workers. Call Close when done.
@@ -378,8 +501,33 @@ func New(cfg Config) *Runtime {
 	rt.parkCond = sync.NewCond(&rt.parkMu)
 	rt.waitCond = sync.NewCond(&rt.waitMu)
 	rt.throttleCond = sync.NewCond(&rt.throttleMu)
+	tp := topology()
+	rt.llcTarget = tp.effectiveLLCBytes() / 2
+	if cfg.ThrottleWindow > 0 {
+		rt.fixedWindow = true
+		rt.backlogHigh.Store(int64(cfg.ThrottleWindow))
+	} else {
+		rt.backlogHigh.Store(defaultBacklog)
+	}
+	switch {
+	case cfg.BatchSize == 0:
+		rt.batchSize = DefaultBatchSize
+	case cfg.BatchSize < 1:
+		rt.batchSize = 1
+	default:
+		rt.batchSize = cfg.BatchSize
+	}
+	rt.stealOrder, rt.stealSplit = buildStealOrder(cfg.Workers, tp)
+	rt.wlocal = make([]workerLocal, cfg.Workers)
+	for w := range rt.wlocal {
+		// Distinct odd seeds per worker for the steal-start xorshift.
+		rt.wlocal[w].rng = uint64(w)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	}
 	if b, ok := cfg.Memoizer.(RuntimeBinder); ok {
 		b.BindRuntime(rt)
+	}
+	if bo, ok := cfg.Memoizer.(BatchObserver); ok {
+		rt.batchObs = bo
 	}
 	rt.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -406,23 +554,71 @@ func (rt *Runtime) RegisterType(cfg TypeConfig) *TaskType {
 	return tt
 }
 
-// Submit creates a task of type tt with the given accesses, wires its
-// dependences against previously submitted tasks, and schedules it when
-// ready. Submit must be called from a single goroutine (the "master
-// thread"); task bodies must not submit.
-func (rt *Runtime) Submit(tt *TaskType, accesses ...Access) *Task {
-	if rt.closed.Load() {
-		panic("taskrt: Submit after Close")
+// throttle pauses the master while the in-flight task count is at or
+// above the high watermark, resuming below the low watermark (half).
+func (rt *Runtime) throttle() {
+	if rt.submitted.Load()-rt.completed.Load() < rt.backlogHigh.Load() {
+		return
 	}
-	if rt.submitted.Load()-rt.completed.Load() >= maxBacklog {
-		rt.throttleMu.Lock()
-		rt.throttled.Store(true)
-		for rt.submitted.Load()-rt.completed.Load() >= maxBacklog/2 {
-			rt.throttleCond.Wait()
-		}
-		rt.throttled.Store(false)
-		rt.throttleMu.Unlock()
+	rt.throttleMu.Lock()
+	rt.throttled.Store(true)
+	for rt.submitted.Load()-rt.completed.Load() >= rt.backlogHigh.Load()/2 {
+		rt.throttleCond.Wait()
 	}
+	rt.throttled.Store(false)
+	rt.throttleMu.Unlock()
+}
+
+// notePayload feeds one task's payload bytes into the adaptive-throttle
+// EWMA and periodically retunes the high watermark so that
+// (watermark × mean task bytes) tracks the LLC target. Master-only. Only
+// one task in eight is actually measured — submission streams are
+// uniform loop nests, so the sampled mean converges to the true mean and
+// the steady path pays a counter increment instead of per-access
+// NumBytes calls.
+func (rt *Runtime) notePayload(t *Task) {
+	if rt.fixedWindow {
+		return
+	}
+	rt.noteSeq++
+	if rt.noteSeq&7 != 0 {
+		return
+	}
+	bytes := 0
+	for _, a := range t.accesses {
+		bytes += a.Region.NumBytes()
+	}
+	if rt.payloadEWMA == 0 {
+		rt.payloadEWMA = float64(bytes)
+	} else {
+		rt.payloadEWMA += (float64(bytes) - rt.payloadEWMA) / 64
+	}
+	rt.ewmaTasks++
+	if rt.ewmaTasks < watermarkRefresh {
+		return
+	}
+	rt.ewmaTasks = 0
+	hw := int64(float64(rt.llcTarget) / (rt.payloadEWMA + taskOverheadBytes))
+	lo := int64(minBacklog)
+	if m := int64(8 * rt.workers); m > lo {
+		lo = m
+	}
+	if hw < lo {
+		hw = lo
+	}
+	if hw > maxBacklogCap {
+		hw = maxBacklogCap
+	}
+	rt.backlogHigh.Store(hw)
+}
+
+// BacklogLimit reports the current submission-throttle high watermark.
+func (rt *Runtime) BacklogLimit() int { return int(rt.backlogHigh.Load()) }
+
+// carveRaw allocates the next task from the master-side slab and stamps
+// its type and id; the caller fills the accesses (the input/output
+// partition is computed lazily by ensureRegions).
+func (rt *Runtime) carveRaw(tt *TaskType) *Task {
 	if rt.slabOff == len(rt.slab) {
 		rt.slab = make([]Task, taskSlabSize)
 		rt.slabOff = 0
@@ -430,73 +626,108 @@ func (rt *Runtime) Submit(tt *TaskType, accesses ...Access) *Task {
 	t := &rt.slab[rt.slabOff]
 	rt.slabOff++
 	t.typ = tt
+	t.id = rt.nextID
+	rt.nextID++
+	return t
+}
+
+// carve creates a task copying the caller's access slice (inline for the
+// common ≤2-access shape).
+func (rt *Runtime) carve(tt *TaskType, accesses []Access) *Task {
+	t := rt.carveRaw(tt)
 	if len(accesses) <= len(t.accInline) {
 		t.accesses = t.accInline[:copy(t.accInline[:], accesses)]
 	} else {
 		t.accesses = make([]Access, len(accesses))
 		copy(t.accesses, accesses)
 	}
-	nin, nout := 0, 0
-	for _, a := range t.accesses {
-		if a.Mode == ModeIn || a.Mode == ModeInOut {
-			nin++
-		}
-		if a.Mode == ModeOut || a.Mode == ModeInOut {
-			nout++
-		}
-	}
-	if nin+nout > 0 {
-		var backing []region.Region
-		if nin+nout <= len(t.regInline) {
-			backing = t.regInline[:nin+nout]
-		} else {
-			backing = make([]region.Region, nin+nout)
-		}
-		i, o := 0, nin
-		for _, a := range t.accesses {
-			if a.Mode == ModeIn || a.Mode == ModeInOut {
-				backing[i] = a.Region
-				i++
-			}
-			if a.Mode == ModeOut || a.Mode == ModeInOut {
-				backing[o] = a.Region
-				o++
-			}
-		}
-		t.regions = backing
-		t.ninlen = int32(nin)
-	}
+	return t
+}
 
-	if rt.tracer != nil {
-		rt.tracer.SetState(rt.tracer.MasterLane(), trace.StateCreate)
-		rt.tracer.TaskCreated()
-	}
+// carveOwned is carve for an access slice the caller owns and will not
+// reuse (always a spilled BatchEntry list, >2 accesses): the task adopts
+// it without copying.
+func (rt *Runtime) carveOwned(tt *TaskType, accesses []Access) *Task {
+	t := rt.carveRaw(tt)
+	t.accesses = accesses
+	return t
+}
 
-	t.id = rt.nextID
-	rt.nextID++
-	rt.submitted.Add(1)
-
-	// The guard keeps racing predecessor completions from readying the
-	// task before its dependence wiring is finished: npred stays huge
-	// until the single balancing Add below, which also folds in the
-	// number of wired predecessors (one atomic op instead of one per
-	// predecessor).
-	t.npred.Store(npredGuard)
+// wire registers t's dependences against the registry and returns the
+// number of distinct predecessors found. Tasks with id >= batchStart are
+// unpublished members of the batch currently being submitted: the master
+// owns both endpoints of such an edge, so it is recorded with plain
+// appends — no CAS, no lock, no npred guard. Edges to older (published,
+// possibly executing) tasks use the lock-free registration path; before
+// the first such edge the submission guard is installed in t.npred, so a
+// racing predecessor completion can never drive it to zero early.
+// Callers must pass the result to finalizeWiring.
+func (rt *Runtime) wire(t *Task, batchStart uint64) int32 {
+	// Predecessor dedup: a linear scan over a small inline buffer for the
+	// ubiquitous few-predecessor shape, spilling to a map once the count
+	// would make the scan quadratic (the kmeans fan-in task reads
+	// hundreds of partials, all with distinct last-writers).
+	const seenSpill = 32
 	var seenBuf [8]*Task
 	seen := seenBuf[:0]
+	var seenMap map[*Task]struct{}
+	npred := int32(0)
+	guarded := false
+	record := func(p *Task) {
+		if seenMap != nil {
+			seenMap[p] = struct{}{}
+			return
+		}
+		seen = append(seen, p)
+		if len(seen) >= seenSpill {
+			seenMap = make(map[*Task]struct{}, 2*seenSpill)
+			for _, q := range seen {
+				seenMap[q] = struct{}{}
+			}
+		}
+	}
 	addPred := func(p *Task) {
 		if p == nil || p == t {
 			return
 		}
-		for _, q := range seen {
-			if q == p {
+		if seenMap != nil {
+			if _, dup := seenMap[p]; dup {
 				return
 			}
+		} else {
+			for _, q := range seen {
+				if q == p {
+					return
+				}
+			}
 		}
-		if cur := p.succ1.Load(); cur == succDone {
+		if p.id >= batchStart {
+			// Intra-batch edge: p is unpublished, cannot run or complete
+			// until this batch is published, and only the master touches
+			// it — plain memory suffices.
+			if p.succs == nil {
+				p.succs = p.succInline[:0]
+			}
+			p.succs = append(p.succs, t)
+			record(p)
+			npred++
+			return
+		}
+		cur := p.succ1.Load()
+		if cur == succDone {
 			return // p already completed
-		} else if cur == nil && p.succ1.CompareAndSwap(nil, t) {
-			seen = append(seen, p)
+		}
+		// The guard keeps racing predecessor completions from readying
+		// the task before its wiring is finished; it is installed lazily
+		// so tasks without cross-batch predecessors pay no npred atomics
+		// at all.
+		if !guarded {
+			t.npred.Store(npredGuard)
+			guarded = true
+		}
+		if cur == nil && p.succ1.CompareAndSwap(nil, t) {
+			record(p)
+			npred++
 			return
 		}
 		// Slot taken by another successor: spill under the lock.
@@ -510,7 +741,8 @@ func (rt *Runtime) Submit(tt *TaskType, accesses ...Access) *Task {
 		}
 		p.succs = append(p.succs, t)
 		p.mu.Unlock()
-		seen = append(seen, p)
+		record(p)
+		npred++
 	}
 	for _, a := range t.accesses {
 		rs := rt.lastRS
@@ -548,8 +780,51 @@ func (rt *Runtime) Submit(tt *TaskType, accesses ...Access) *Task {
 			}
 		}
 	}
-	if t.npred.Add(int32(len(seen))-npredGuard) == 0 {
-		rt.ready(t, -1)
+	return npred
+}
+
+// finalizeWiring publishes t's predecessor count and reports whether the
+// task is initially ready: the single-task (Submit) finalize, where every
+// predecessor is an older task. If the guard was installed the balancing
+// Add folds in the wired-predecessor count, and a zero result means every
+// predecessor already completed; with no guard there were no live
+// predecessors at all. SubmitBatch uses its own two-phase finalize — with
+// intra-batch edges, all plain counts must be installed before any guard
+// drops (see batch.go pass 3).
+func (rt *Runtime) finalizeWiring(t *Task, npred int32) bool {
+	if t.npred.Load() != 0 { // guard installed by wire()
+		return t.npred.Add(npred-npredGuard) == 0
+	}
+	if npred == 0 {
+		return true
+	}
+	t.npred.Store(npred)
+	return false
+}
+
+// Submit creates a task of type tt with the given accesses, wires its
+// dependences against previously submitted tasks, and schedules it when
+// ready. Submit must be called from a single goroutine (the "master
+// thread"); task bodies must not submit. For regular loop nests,
+// SubmitBatch (or a Batcher) amortizes the per-task submission cost.
+func (rt *Runtime) Submit(tt *TaskType, accesses ...Access) *Task {
+	if rt.closed.Load() {
+		panic("taskrt: Submit after Close")
+	}
+	rt.throttle()
+	t := rt.carve(tt, accesses)
+
+	if rt.tracer != nil {
+		rt.tracer.SetState(rt.tracer.MasterLane(), trace.StateCreate)
+		rt.tracer.TaskCreated()
+	}
+
+	rt.submitted.Add(1)
+	rt.notePayload(t)
+
+	npred := rt.wire(t, t.id) // batchStart = t.id: no intra-batch edges
+	if rt.finalizeWiring(t, npred) {
+		rt.ready(t)
 	}
 
 	if rt.tracer != nil {
@@ -608,16 +883,20 @@ func (rt *Runtime) step(t *Task, w int) *Task {
 // further ones go to the worker's own deque. External completions
 // (w == -1) route everything through the injector. Direct handoff is
 // skipped when prioritized types exist: a readied task must not overtake
-// a queued higher-priority one.
+// a queued higher-priority one. A completion that readies k tasks issues
+// a single wake of min(k, parked) instead of k independent wakes, so a
+// wide fan-out no longer stampedes the park lock.
 func (rt *Runtime) complete(t *Task, w int) *Task {
 	var keep *Task
+	nq := 0
 	handoff := w >= 0 && !rt.priority.Load()
 	release := func(s *Task) {
 		if s.npred.Add(-1) == 0 {
 			if handoff && keep == nil {
 				keep = s
 			} else {
-				rt.ready(s, w)
+				rt.enqueue(s, w)
+				nq++
 			}
 		}
 	}
@@ -637,13 +916,21 @@ func (rt *Runtime) complete(t *Task, w int) *Task {
 		succs[i] = nil
 		release(s)
 	}
+	if nq > 0 {
+		if keep == nil && w >= 0 {
+			// No direct handoff: the completing worker itself returns to
+			// the queues next and consumes one of the readied tasks.
+			nq--
+		}
+		rt.wake(nq)
+	}
 	done := rt.completed.Add(1)
 	if rt.waiting.Load() && done == rt.submitted.Load() {
 		rt.waitMu.Lock()
 		rt.waitCond.Broadcast()
 		rt.waitMu.Unlock()
 	}
-	if rt.throttled.Load() && rt.submitted.Load()-done <= maxBacklog/2 {
+	if rt.throttled.Load() && rt.submitted.Load()-done <= rt.backlogHigh.Load()/2 {
 		rt.throttleMu.Lock()
 		rt.throttleCond.Signal()
 		rt.throttleMu.Unlock()

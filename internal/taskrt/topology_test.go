@@ -1,0 +1,155 @@
+package taskrt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFakeCPU lays out one cpuN directory with an L1 and an LLC entry.
+func writeFakeCPU(t *testing.T, root string, cpu int, llcSize, llcShared string) {
+	t.Helper()
+	for idx, f := range []struct{ level, size, typ, shared string }{
+		{"1", "32K", "Data", ""},
+		{"3", llcSize, "Unified", llcShared},
+	} {
+		dir := filepath.Join(root, "cpu"+itoa(cpu), "cache", "index"+itoa(idx))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		shared := f.shared
+		if shared == "" {
+			shared = itoa(cpu)
+		}
+		for name, val := range map[string]string{
+			"level": f.level, "size": f.size, "type": f.typ, "shared_cpu_list": shared,
+		} {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(val+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestReadCacheTopologyTwoLLCs parses a synthetic two-socket tree: CPUs
+// 0-3 share one 16M LLC slice, CPUs 4-7 another.
+func TestReadCacheTopologyTwoLLCs(t *testing.T) {
+	root := t.TempDir()
+	for cpu := 0; cpu < 8; cpu++ {
+		shared := "0-3"
+		if cpu >= 4 {
+			shared = "4-7"
+		}
+		writeFakeCPU(t, root, cpu, "16384K", shared)
+	}
+	tp := readCacheTopology(root)
+	if tp.ncpu != 8 || tp.nLLC != 2 {
+		t.Fatalf("ncpu=%d nLLC=%d", tp.ncpu, tp.nLLC)
+	}
+	if tp.llcBytes != 16384<<10 {
+		t.Fatalf("llcBytes=%d", tp.llcBytes)
+	}
+	for cpu := 0; cpu < 8; cpu++ {
+		want := tp.cpuLLC[0]
+		if cpu >= 4 {
+			want = tp.cpuLLC[4]
+		}
+		if tp.cpuLLC[cpu] != want {
+			t.Fatalf("cpu %d group %d want %d", cpu, tp.cpuLLC[cpu], want)
+		}
+	}
+	if tp.cpuLLC[0] == tp.cpuLLC[4] {
+		t.Fatal("sockets must land in distinct LLC groups")
+	}
+}
+
+// TestReadCacheTopologyMissing returns the zero topology for absent trees
+// (the portable fallback path).
+func TestReadCacheTopologyMissing(t *testing.T) {
+	tp := readCacheTopology(filepath.Join(t.TempDir(), "nonexistent"))
+	if tp.nLLC != 0 || tp.llcBytes != 0 {
+		t.Fatalf("expected zero topology, got %+v", tp)
+	}
+	if got := tp.effectiveLLCBytes(); got != 8<<20 {
+		t.Fatalf("fallback LLC=%d", got)
+	}
+}
+
+// TestParseCacheSize covers the sysfs size suffixes.
+func TestParseCacheSize(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want int64
+	}{
+		{"32K", 32 << 10}, {"2048K", 2048 << 10}, {"36M", 36 << 20},
+		{"1G", 1 << 30}, {"123", 123}, {"", 0}, {"junk", 0},
+	} {
+		if got := parseCacheSize(c.in); got != c.want {
+			t.Fatalf("parseCacheSize(%q)=%d want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestBuildStealOrderLLCFirst checks the two-tier victim order on the
+// synthetic two-LLC topology: same-group victims precede remote ones.
+func TestBuildStealOrderLLCFirst(t *testing.T) {
+	tp := cacheTopo{
+		llcBytes: 16 << 20,
+		nLLC:     2,
+		ncpu:     8,
+		cpuLLC:   map[int]int{0: 0, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1, 7: 1},
+	}
+	order, split := buildStealOrder(8, tp)
+	for w := 0; w < 8; w++ {
+		if len(order[w]) != 7 {
+			t.Fatalf("worker %d has %d victims", w, len(order[w]))
+		}
+		if split[w] != 3 {
+			t.Fatalf("worker %d near tier = %d, want 3", w, split[w])
+		}
+		myGroup := tp.cpuLLC[w]
+		for i, v := range order[w] {
+			near := i < split[w]
+			if (tp.cpuLLC[int(v)] == myGroup) != near {
+				t.Fatalf("worker %d victim %d (idx %d) in wrong tier", w, v, i)
+			}
+			if int(v) == w {
+				t.Fatalf("worker %d lists itself", w)
+			}
+		}
+	}
+	// More workers than CPUs: mapping wraps, everything stays in-range.
+	order16, split16 := buildStealOrder(16, tp)
+	for w := range order16 {
+		if len(order16[w]) != 15 || split16[w] < 0 || split16[w] > 15 {
+			t.Fatalf("worker %d: victims=%d split=%d", w, len(order16[w]), split16[w])
+		}
+	}
+}
+
+// TestBuildStealOrderFallback checks the single-tier fallback when the
+// topology is unknown: all victims in the remote tier (random start
+// applies to the whole list).
+func TestBuildStealOrderFallback(t *testing.T) {
+	order, split := buildStealOrder(4, cacheTopo{})
+	for w := 0; w < 4; w++ {
+		if split[w] != 0 {
+			t.Fatalf("unknown topology must produce an empty near tier, got %d", split[w])
+		}
+		if len(order[w]) != 3 {
+			t.Fatalf("worker %d has %d victims", w, len(order[w]))
+		}
+	}
+}

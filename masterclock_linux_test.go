@@ -1,0 +1,18 @@
+//go:build linux
+
+package atm
+
+import "syscall"
+
+// threadCPUNanos returns the calling OS thread's consumed CPU time (user
+// + system). Combined with runtime.LockOSThread it isolates the master
+// thread's own submission cost from worker execution and blocked waits —
+// the "master-side cost" BenchmarkSubmitBatch reports — even on machines
+// with fewer cores than workers, where wall-clock windows mix the two.
+func threadCPUNanos() (int64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_THREAD, &ru); err != nil {
+		return 0, false
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano(), true
+}

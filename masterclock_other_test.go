@@ -1,0 +1,7 @@
+//go:build !linux
+
+package atm
+
+// threadCPUNanos is unavailable off Linux; BenchmarkSubmitBatch falls
+// back to wall-clock ns/task (see masterclock_linux_test.go).
+func threadCPUNanos() (int64, bool) { return 0, false }
