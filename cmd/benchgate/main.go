@@ -1,0 +1,190 @@
+// Command benchgate is the CI benchmark-regression gate: it parses
+// `go test -bench` output (stdin or -in) and compares the metrics named
+// in a committed baseline file (-baseline, e.g. BENCH_3.json) against the
+// measured values, failing the run — exit status 1 and a per-gate report
+// — when any timed metric regresses by more than the allowed fraction or
+// any allocation count grows.
+//
+// Timed metrics (ns/op and custom ns-flavored metrics) are gated at
+//
+//	measured > baseline × (1 + max_regress) × slack
+//
+// where max_regress comes from the baseline file (the repo's recorded
+// tolerance, default 0.20) and -slack is a CI-side multiplier (default 1)
+// that absorbs the machine delta between the box that recorded the
+// baseline and the CI runner — set it so the gate stays quiet on honest
+// runs but still trips on a 2x slowdown. Allocation gates (allocs/op)
+// never get slack: allocation counts are machine-independent, so any
+// growth over baseline fails.
+//
+// Refreshing baselines: rerun the bench command recorded in the baseline
+// file on a quiet machine, update the gate values, and commit — see
+// docs/ci.md.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'SubmitBatch|RuntimeSubmitWait|MemoizedVsExecuted' \
+//	    -benchmem -benchtime 200ms . | benchgate -baseline BENCH_3.json -slack 1.5
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baselineFile is the subset of the BENCH_*.json schema the gate reads;
+// everything else in the file (prose, raw results) is ignored.
+type baselineFile struct {
+	Gate gate `json:"gate"`
+}
+
+type gate struct {
+	// MaxRegress is the allowed fractional regression for timed metrics
+	// (0.20 = +20%). Omitted means 0.20; an explicit 0 means
+	// zero-tolerance (any timed regression beyond -slack fails).
+	MaxRegress *float64 `json:"max_regress"`
+	// Benches are the gated benchmarks.
+	Benches []benchGate `json:"benches"`
+}
+
+type benchGate struct {
+	// Name is the benchmark name without the -N GOMAXPROCS suffix,
+	// e.g. "BenchmarkSubmitBatch/batched".
+	Name string `json:"name"`
+	// Metric is the gated unit as printed by the bench ("ns/op",
+	// "master-cpu-ns/task", ...).
+	Metric string `json:"metric"`
+	// Value is the baseline for Metric.
+	Value float64 `json:"value"`
+	// AllocsPerOp, when non-nil, additionally gates allocs/op at this
+	// exact baseline (no slack: allocation counts are deterministic).
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// parseBench parses `go test -bench` output into name → unit → value.
+// A bench line is "BenchmarkName-8  <iters>  <value> <unit>  ..." with
+// value/unit pairs after the iteration count.
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: not a result line
+		}
+		m := out[name]
+		if m == nil {
+			m = map[string]float64{}
+			out[name] = m
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			m[fields[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline JSON file with a top-level \"gate\" object (required)")
+	inPath := flag.String("in", "", "bench output file (default stdin)")
+	slack := flag.Float64("slack", 1.0, "CI machine-delta multiplier applied to timed thresholds (never to allocs)")
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if len(bf.Gate.Benches) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s has no gate.benches entries\n", *baselinePath)
+		os.Exit(2)
+	}
+	maxRegress := 0.20
+	if bf.Gate.MaxRegress != nil {
+		maxRegress = *bf.Gate.MaxRegress
+	}
+
+	var in io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: reading bench output: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Printf("FAIL  "+format+"\n", args...)
+	}
+	for _, g := range bf.Gate.Benches {
+		got, ok := measured[g.Name]
+		if !ok {
+			fail("%s: benchmark missing from output", g.Name)
+			continue
+		}
+		v, ok := got[g.Metric]
+		if !ok {
+			fail("%s: metric %q missing from output", g.Name, g.Metric)
+			continue
+		}
+		limit := g.Value * (1 + maxRegress) * *slack
+		delta := 100 * (v/g.Value - 1)
+		if v > limit {
+			fail("%s %s: %.1f vs baseline %.1f (%+.1f%%, limit %.1f)", g.Name, g.Metric, v, g.Value, delta, limit)
+		} else {
+			fmt.Printf("ok    %s %s: %.1f vs baseline %.1f (%+.1f%%, limit %.1f)\n", g.Name, g.Metric, v, g.Value, delta, limit)
+		}
+		if g.AllocsPerOp != nil {
+			a, ok := got["allocs/op"]
+			switch {
+			case !ok:
+				fail("%s: allocs/op missing (run the bench with -benchmem)", g.Name)
+			case a > *g.AllocsPerOp:
+				fail("%s allocs/op: %.0f vs baseline %.0f (allocation regressions get no slack)", g.Name, a, *g.AllocsPerOp)
+			default:
+				fmt.Printf("ok    %s allocs/op: %.0f vs baseline %.0f\n", g.Name, a, *g.AllocsPerOp)
+			}
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

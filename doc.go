@@ -9,11 +9,16 @@
 //     policies) built on a work-stealing scheduler: per-worker deques
 //     with LIFO owner access and FIFO stealing, a sharded injector for
 //     master-thread submissions, direct handoff of single successors,
-//     lock-free dependence wiring, slab-allocated tasks, a batched
-//     submission pipeline (SubmitBatch/Batcher: intra-batch edges wired
-//     without atomics, block publication, one coalesced wake per batch),
-//     LLC-aware random-start victim selection, and Nanos++-style
-//     submission throttling with an adaptive, LLC-sized watermark.
+//     lock-free dependence wiring, a batched submission pipeline
+//     (SubmitBatch/Batcher: intra-batch edges wired without atomics,
+//     block publication, one coalesced wake per batch), LLC-aware
+//     random-start victim selection, and Nanos++-style submission
+//     throttling with an adaptive, LLC-sized watermark. Dependence
+//     state lives in generation-checked slots embedded in the regions
+//     themselves (region.DepSlot: one pointer load instead of a map
+//     probe, with a map fallback only for foreign regions), and tasks
+//     are carved from slabs that recycle through a bounded free list at
+//     completion fences (Wait/Fence) instead of returning to the GC.
 //   - internal/core — the ATM engine: Task History Table (ring-buffer
 //     buckets, refcounted entries recycled through a pool), In-flight Key
 //     Table, Jenkins hashing over sampled inputs, and the static /

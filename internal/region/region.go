@@ -122,8 +122,13 @@ type WordSink interface {
 	WriteUint64(u uint64)
 }
 
-// Float64 is a Region over []float64.
-type Float64 struct{ Data []float64 }
+// Float64 is a Region over []float64. The embedded DepSlot lets the task
+// runtime resolve dependence state without a registry map probe (true of
+// all four concrete types; see DepSlot).
+type Float64 struct {
+	DepSlot
+	Data []float64
+}
 
 // NewFloat64 allocates a float64 region with n elements.
 func NewFloat64(n int) *Float64 { return &Float64{Data: make([]float64, n)} }
@@ -183,7 +188,10 @@ func (r *Float64) HashInto(sink func(b byte)) {
 }
 
 // Float32 is a Region over []float32.
-type Float32 struct{ Data []float32 }
+type Float32 struct {
+	DepSlot
+	Data []float32
+}
 
 // NewFloat32 allocates a float32 region with n elements.
 func NewFloat32(n int) *Float32 { return &Float32{Data: make([]float32, n)} }
@@ -244,7 +252,10 @@ func (r *Float32) HashInto(sink func(b byte)) {
 }
 
 // Int32 is a Region over []int32.
-type Int32 struct{ Data []int32 }
+type Int32 struct {
+	DepSlot
+	Data []int32
+}
 
 // NewInt32 allocates an int32 region with n elements.
 func NewInt32(n int) *Int32 { return &Int32{Data: make([]int32, n)} }
@@ -305,7 +316,10 @@ func (r *Int32) HashInto(sink func(b byte)) {
 }
 
 // Bytes is a Region over raw []byte.
-type Bytes struct{ Data []byte }
+type Bytes struct {
+	DepSlot
+	Data []byte
+}
 
 // NewBytes allocates a byte region with n elements.
 func NewBytes(n int) *Bytes { return &Bytes{Data: make([]byte, n)} }

@@ -84,10 +84,13 @@ func (e *BatchEntry) take() (accs []Access, owned bool) {
 //
 // Like Submit, SubmitBatch must be called from the single master
 // goroutine. The returned slice is carved from a pointer slab owned by
-// the runtime: it remains valid indefinitely, but callers that retain it
-// keep the batch's tasks reachable. Batch entries are consumed (see
-// BatchEntry); the entries slice itself may be reused after rebuilding
-// its entries with Desc.
+// the runtime; the tasks it points to live in recyclable slabs, so the
+// pointers are valid until the first submission after a completion
+// fence (Wait/Fence) — after that the cells may be reset and re-carved
+// into unrelated tasks. Consume task results between the Wait and the
+// next submission. Batch entries are consumed (see BatchEntry); the
+// entries slice itself may be reused after rebuilding its entries with
+// Desc.
 func (rt *Runtime) SubmitBatch(batch []BatchEntry) []*Task {
 	return rt.submitBatch(batch, nil)
 }
@@ -105,12 +108,18 @@ func (rt *Runtime) submitBatch(batch []BatchEntry, dst []*Task) []*Task {
 	if n == 0 {
 		return dst
 	}
+	rt.consumeFence()
 	rt.throttle() // once per batch; a batch is an atomic submission unit
 	if rt.tracer != nil {
 		rt.tracer.SetState(rt.tracer.MasterLane(), trace.StateCreate)
 	}
 	if dst == nil {
 		if n > len(rt.ptrSlab)-rt.ptrOff {
+			// Park the used part of the replaced slab for scrubbing at the
+			// next fence; its result slices may still be live until then.
+			if rt.ptrOff > 0 {
+				rt.oldPtrSlabs = append(rt.oldPtrSlabs, rt.ptrSlab[:rt.ptrOff])
+			}
 			size := taskPtrSlabSize
 			if n > size {
 				size = n

@@ -1,0 +1,225 @@
+package taskrt
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"atm/internal/region"
+)
+
+// TestSlabRecyclingReusesMemory walks a slab through its full recycle
+// lifecycle: filled → parked in liveSlabs → retired to the free list by
+// the first submission after a fence → re-carved, handing out the same
+// Task cells again with fresh identity.
+func TestSlabRecyclingReusesMemory(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	defer rt.Close()
+	r := region.NewFloat64(1)
+	tt := rt.RegisterType(TypeConfig{Name: "noop", Run: func(*Task) {}})
+
+	// Wave 1 exactly fills the first slab.
+	first := rt.Submit(tt, InOut(r))
+	for i := 1; i < taskSlabSize; i++ {
+		rt.Submit(tt, InOut(r))
+	}
+	slab1 := rt.slab
+	rt.Wait()
+
+	// Wave 2: the first carve moves the full slab to liveSlabs (nothing
+	// retires yet — the fence's retirement runs before the carve, when
+	// the slab is still current).
+	rt.Submit(tt, InOut(r))
+	if len(rt.liveSlabs) != 1 || rt.liveSlabs[0] != slab1 {
+		t.Fatalf("full slab not parked in liveSlabs")
+	}
+	rt.Wait()
+
+	// Wave 3: the first submission after this fence retires slab 1.
+	rt.Submit(tt, InOut(r))
+	if len(rt.freeSlabs) != 1 || rt.freeSlabs[0] != slab1 {
+		t.Fatalf("fence did not retire the full slab to the free list")
+	}
+	if !slab1.recycled || slab1.gen.Load() != 1 {
+		t.Fatalf("retired slab not marked recycled with a bumped generation (recycled=%v gen=%d)",
+			slab1.recycled, slab1.gen.Load())
+	}
+
+	// Fill the current slab; the next carve must pop slab 1 and reuse its
+	// first cell — same address, fresh task.
+	for i := rt.slabOff; i < taskSlabSize; i++ {
+		rt.Submit(tt, InOut(r))
+	}
+	reborn := rt.Submit(tt, Out(r))
+	if reborn != first {
+		t.Fatalf("recycled slab did not hand back the same cell (got %p, want %p)", reborn, first)
+	}
+	if len(rt.freeSlabs) != 0 {
+		t.Fatalf("free list not drained after reuse")
+	}
+	rt.Wait()
+	if reborn.sgen != 1 || reborn.id == 0 {
+		t.Fatalf("re-carved cell not restamped (sgen=%d id=%d)", reborn.sgen, reborn.id)
+	}
+	// The lazy input/output partition must reflect the NEW accesses, not
+	// the recycled cell's old ones (wave 1 used InOut: 1 input + 1
+	// output; the reborn task used Out: 0 inputs).
+	if n := len(reborn.Inputs()); n != 0 {
+		t.Fatalf("recycled cell kept its old region partition: %d inputs, want 0", n)
+	}
+}
+
+// TestRecycleBoundedFreeList pins the free-list bound: retiring far more
+// slabs than one throttle window's worth must drop the excess to the GC.
+func TestRecycleBoundedFreeList(t *testing.T) {
+	rt := New(Config{Workers: 2, ThrottleWindow: 128})
+	defer rt.Close()
+	r := region.NewFloat64(1)
+	tt := rt.RegisterType(TypeConfig{Name: "noop", Run: func(*Task) {}})
+	limit := 128/taskSlabSize + 2
+	for wave := 0; wave < 4*limit; wave++ {
+		for i := 0; i < taskSlabSize; i++ {
+			rt.Submit(tt, InOut(r))
+		}
+		rt.Wait()
+	}
+	if len(rt.freeSlabs) > limit {
+		t.Fatalf("free list grew to %d slabs, bound is %d", len(rt.freeSlabs), limit)
+	}
+}
+
+// TestStrayFenceDoesNotRecycleLiveSlabs pins consumeFence's quiescence
+// guard: a fence flag raised while tasks are still in flight (Wait may
+// be called from any goroutine, and can race a batch between carving
+// and counting) must not retire slabs — their cells hold live tasks.
+func TestStrayFenceDoesNotRecycleLiveSlabs(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	defer rt.Close()
+	gate := make(chan struct{})
+	block := rt.RegisterType(TypeConfig{Name: "block", Run: func(*Task) { <-gate }})
+	slab1 := rt.slab
+	// Fill the first slab with blocked tasks, plus one more so the full
+	// slab parks in liveSlabs.
+	for i := 0; i <= taskSlabSize; i++ {
+		rt.Submit(block, InOut(region.NewFloat64(1)))
+	}
+	if len(rt.liveSlabs) != 1 {
+		t.Fatalf("full slab not parked")
+	}
+	// Stray fence while every task is still in flight: the next
+	// submission must refuse to retire.
+	rt.fencePending.Store(true)
+	rt.Submit(block, InOut(region.NewFloat64(1)))
+	if len(rt.freeSlabs) != 0 || slab1.gen.Load() != 0 {
+		t.Fatalf("stray fence recycled slabs holding %d live tasks", taskSlabSize)
+	}
+	close(gate)
+	rt.Wait()
+	// A true barrier retires as usual.
+	rt.Submit(block, InOut(region.NewFloat64(1)))
+	if len(rt.freeSlabs) != 1 || slab1.gen.Load() != 1 {
+		t.Fatalf("legitimate fence did not retire the slab (free=%d gen=%d)", len(rt.freeSlabs), slab1.gen.Load())
+	}
+	rt.Wait()
+}
+
+// deferOnceMemoizer defers the first memoizable task it sees and hands it
+// to the test through a channel; every other task runs normally.
+type deferOnceMemoizer struct {
+	deferred chan *Task
+	once     atomic.Bool
+}
+
+func (m *deferOnceMemoizer) OnReady(t *Task, worker int) Outcome {
+	if m.once.CompareAndSwap(false, true) {
+		m.deferred <- t
+		return OutcomeDeferred
+	}
+	return OutcomeRun
+}
+
+func (m *deferOnceMemoizer) OnFinished(*Task, int) {}
+
+// TestStaleCompleteExternalPanics pins the slab-generation guard: a
+// CompleteExternal straggler arriving after a fence has retired the
+// task's slab must panic loudly instead of silently corrupting a
+// recycled cell.
+func TestStaleCompleteExternalPanics(t *testing.T) {
+	m := &deferOnceMemoizer{deferred: make(chan *Task, 1)}
+	rt := New(Config{Workers: 2, Memoizer: m})
+	defer rt.Close()
+	r := region.NewFloat64(1)
+	memo := rt.RegisterType(TypeConfig{Name: "memo", Memoize: true, Run: func(*Task) {}})
+	noop := rt.RegisterType(TypeConfig{Name: "noop", Run: func(*Task) {}})
+
+	rt.Submit(memo, InOut(r))
+	stale := <-m.deferred
+	rt.CompleteExternal(stale) // the legal, exactly-once completion
+	// Fill the rest of the slab, then drive it through park → retire
+	// (two fences) without re-carving the stale task's cell.
+	for i := 1; i < taskSlabSize; i++ {
+		rt.Submit(noop, InOut(r))
+	}
+	rt.Wait()
+	rt.Submit(noop, InOut(r)) // parks the full slab
+	rt.Wait()
+	rt.Submit(noop, InOut(r)) // retires it: stale's generation stamp is now behind
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("CompleteExternal on a fence-retired task did not panic")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "completion fence") {
+			t.Fatalf("unexpected panic: %v", p)
+		}
+		rt.Wait()
+	}()
+	rt.CompleteExternal(stale)
+}
+
+// TestFenceRecycleCompleteExternalStress fences every round under -race:
+// slab recycling churns while deferred tasks complete through
+// CompleteExternal on worker goroutines right up to each fence, and
+// cross-fence region reuse exercises the lazy regState refresh against
+// re-carved cells.
+func TestFenceRecycleCompleteExternalStress(t *testing.T) {
+	m := &batchStressMemoizer{}
+	rt := New(Config{Workers: 4, Memoizer: m, ThrottleWindow: 256})
+	defer rt.Close()
+	shared := make([]*region.Float64, 8)
+	for i := range shared {
+		shared[i] = region.NewFloat64(1)
+	}
+	var ran atomic.Int64
+	work := rt.RegisterType(TypeConfig{Name: "work", Memoize: true, Run: func(task *Task) {
+		ran.Add(1)
+		task.Outputs()[0].(*region.Float64).Data[0] = 1
+	}})
+	plain := rt.RegisterType(TypeConfig{Name: "plain", Run: func(task *Task) { ran.Add(1) }})
+
+	rounds := 150
+	if testing.Short() {
+		rounds = 30
+	}
+	batch := make([]BatchEntry, 0, 48)
+	for round := 0; round < rounds; round++ {
+		batch = batch[:0]
+		for i := 0; i < 16; i++ {
+			s := shared[(round+i)%len(shared)]
+			batch = append(batch, Desc(work, In(s), Out(region.NewFloat64(1))))
+			batch = append(batch, Desc(plain, InOut(s)))
+			batch = append(batch, Desc(plain, In(s)))
+		}
+		rt.SubmitBatch(batch)
+		rt.Wait() // fence every round: maximal recycle churn
+	}
+	m.mu.Lock()
+	left := len(m.deferred)
+	m.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d deferred tasks never completed", left)
+	}
+	if ran.Load() == 0 {
+		t.Fatal("nothing ran")
+	}
+}

@@ -1,0 +1,209 @@
+package taskrt
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"atm/internal/region"
+)
+
+// plainRegion is a Region implementation that does NOT embed
+// region.DepSlot: the foreign-region shape that must keep working through
+// the registry map fallback. It forwards to an inner (non-embedded)
+// Bytes value so no DepSlot method is promoted.
+type plainRegion struct{ b region.Bytes }
+
+func newPlainRegion(n int) *plainRegion { return &plainRegion{b: region.Bytes{Data: make([]byte, n)}} }
+
+func (r *plainRegion) Kind() region.Kind          { return r.b.Kind() }
+func (r *plainRegion) NumElems() int              { return r.b.NumElems() }
+func (r *plainRegion) NumBytes() int              { return r.b.NumBytes() }
+func (r *plainRegion) ByteAt(i int) byte          { return r.b.ByteAt(i) }
+func (r *plainRegion) Float64At(i int) float64    { return r.b.Float64At(i) }
+func (r *plainRegion) Clone() region.Region       { return &plainRegion{b: region.Bytes{Data: append([]byte(nil), r.b.Data...)}} }
+func (r *plainRegion) HashInto(sink func(b byte)) { r.b.HashInto(sink) }
+func (r *plainRegion) CopyFrom(src region.Region) { copy(r.b.Data, src.(*plainRegion).b.Data) }
+func (r *plainRegion) EqualContents(o region.Region) bool {
+	s, ok := o.(*plainRegion)
+	return ok && r.b.EqualContents(&s.b)
+}
+func (r *plainRegion) HashWords(sink region.WordSink)                 { r.b.HashWords(sink) }
+func (r *plainRegion) HashSample(offsets []int32, sink region.WordSink) { r.b.HashSample(offsets, sink) }
+func (r *plainRegion) HashSampleRuns(runs []int32, sink region.WordSink) {
+	r.b.HashSampleRuns(runs, sink)
+}
+
+// submitGatedChain submits two writer tasks of the same region where the
+// first blocks until released. If the WAW edge between them is wired, the
+// second cannot run before the first; the recorded order proves it.
+func submitGatedChain(t *testing.T, rt *Runtime, r region.Region) {
+	t.Helper()
+	gate := make(chan struct{})
+	var order [2]int32
+	var seq atomic.Int32
+	w1 := rt.RegisterType(TypeConfig{Name: "w1", Run: func(*Task) {
+		<-gate
+		order[seq.Add(1)-1] = 1
+	}})
+	w2 := rt.RegisterType(TypeConfig{Name: "w2", Run: func(*Task) {
+		order[seq.Add(1)-1] = 2
+	}})
+	rt.Submit(w1, InOut(r))
+	rt.Submit(w2, InOut(r))
+	close(gate)
+	rt.Wait()
+	if order != [2]int32{1, 2} {
+		t.Fatalf("WAW chain ran out of order: %v (dependence edge lost)", order)
+	}
+}
+
+// TestSlotSteadyStateNoMapEntries pins the tentpole property: submitting
+// slotted regions never populates the registry map — dependence state
+// lives in the regions' own DepSlots, on the live-slot list.
+func TestSlotSteadyStateNoMapEntries(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	defer rt.Close()
+	tt := rt.RegisterType(TypeConfig{Name: "noop", Run: func(*Task) {}})
+	regions := make([]*region.Float64, 32)
+	for i := range regions {
+		regions[i] = region.NewFloat64(1)
+	}
+	for round := 0; round < 8; round++ {
+		for _, r := range regions {
+			rt.Submit(tt, InOut(r))
+		}
+		rt.Wait()
+	}
+	if len(rt.regs) != 0 {
+		t.Fatalf("registry map has %d entries for slotted regions, want 0", len(rt.regs))
+	}
+	if len(rt.slotStates) != len(regions) {
+		t.Fatalf("live-slot list has %d entries, want %d", len(rt.slotStates), len(regions))
+	}
+	for i, r := range regions {
+		if r.DepGen() != rt.gen {
+			t.Fatalf("region %d slot generation %d, want runtime generation %d", i, r.DepGen(), rt.gen)
+		}
+	}
+}
+
+// TestSlotReuseAcrossRuntimes reuses one region in two sequential
+// runtimes: the second must reclaim the slot (the first runtime's
+// generation is retired by Close) and wire dependences correctly.
+func TestSlotReuseAcrossRuntimes(t *testing.T) {
+	r := region.NewFloat64(1)
+
+	rt1 := New(Config{Workers: 2})
+	submitGatedChain(t, rt1, r)
+	gen1 := rt1.gen
+	rt1.Close()
+	if r.DepGen() != gen1 {
+		t.Fatalf("slot generation %d after close, want %d (Close must not unstamp)", r.DepGen(), gen1)
+	}
+
+	rt2 := New(Config{Workers: 2})
+	defer rt2.Close()
+	submitGatedChain(t, rt2, r)
+	if r.DepGen() != rt2.gen {
+		t.Fatalf("slot generation %d, want reclaimed by second runtime (%d)", r.DepGen(), rt2.gen)
+	}
+	if len(rt2.regs) != 0 {
+		t.Fatalf("second runtime fell back to the map (%d entries) for a reclaimable slot", len(rt2.regs))
+	}
+}
+
+// TestSlotHeldByLiveRuntimeFallsBackToMap shares a region between two
+// live runtimes (submitting alternately from one goroutine — concurrent
+// masters on one region are out of contract): the second runtime must
+// leave the first one's slot stamp alone and track the region in its
+// map, then promote the map state to the slot once the first runtime
+// closes — without losing its own dependence history.
+func TestSlotHeldByLiveRuntimeFallsBackToMap(t *testing.T) {
+	r := region.NewFloat64(1)
+	rt1 := New(Config{Workers: 1})
+	tt1 := rt1.RegisterType(TypeConfig{Name: "n1", Run: func(*Task) {}})
+	rt1.Submit(tt1, InOut(r))
+	rt1.Wait()
+
+	rt2 := New(Config{Workers: 2})
+	defer rt2.Close()
+	tt2 := rt2.RegisterType(TypeConfig{Name: "n2", Run: func(*Task) {}})
+	rt2.Submit(tt2, InOut(r))
+	rt2.Wait()
+	if r.DepGen() != rt1.gen {
+		t.Fatalf("second runtime stole a live runtime's slot (gen %d, want %d)", r.DepGen(), rt1.gen)
+	}
+	if len(rt2.regs) != 1 {
+		t.Fatalf("second runtime tracks %d map entries, want 1 (the contended region)", len(rt2.regs))
+	}
+
+	rt1.Close()
+	// rt1's generation is now retired; rt2's next touch promotes its map
+	// state into the slot, and chained dependences keep working across
+	// the promotion.
+	submitGatedChain(t, rt2, r)
+	if r.DepGen() != rt2.gen {
+		t.Fatalf("slot not promoted after first runtime closed: gen %d, want %d", r.DepGen(), rt2.gen)
+	}
+	if len(rt2.regs) != 0 {
+		t.Fatalf("map entry not promoted to slot: %d entries left", len(rt2.regs))
+	}
+}
+
+// TestForeignRegionFallback drives a Region that does not embed DepSlot
+// through the full dependence flavors: it must work via the registry map.
+func TestForeignRegionFallback(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	defer rt.Close()
+	r := newPlainRegion(8)
+	submitGatedChain(t, rt, r)
+	if len(rt.regs) != 1 {
+		t.Fatalf("foreign region not tracked in the map: %d entries", len(rt.regs))
+	}
+	if len(rt.slotStates) != 0 {
+		t.Fatalf("foreign region leaked onto the live-slot list (%d entries)", len(rt.slotStates))
+	}
+}
+
+// TestResetMidStream interleaves Reset with submission waves on the same
+// regions: each epoch must wire correctly, and Reset must drop every
+// registry reference (live-slot list, map, lastReg cache) and invalidate
+// the slots by generation.
+func TestResetMidStream(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	defer rt.Close()
+	slotted := region.NewFloat64(1)
+	foreign := newPlainRegion(8)
+	var ran atomic.Int64
+	tt := rt.RegisterType(TypeConfig{Name: "inc", Run: func(*Task) { ran.Add(1) }})
+
+	gens := make(map[uint64]bool)
+	for epoch := 0; epoch < 3; epoch++ {
+		for i := 0; i < 10; i++ {
+			rt.Submit(tt, InOut(slotted))
+			rt.Submit(tt, In(slotted), Out(foreign))
+		}
+		if slotted.DepGen() != rt.gen {
+			t.Fatalf("epoch %d: slot generation %d, want %d", epoch, slotted.DepGen(), rt.gen)
+		}
+		if gens[rt.gen] {
+			t.Fatalf("epoch %d: generation %d reused across Reset", epoch, rt.gen)
+		}
+		gens[rt.gen] = true
+		rt.Reset()
+		if len(rt.slotStates) != 0 || len(rt.regs) != 0 {
+			t.Fatalf("epoch %d: Reset left %d slot states, %d map entries", epoch, len(rt.slotStates), len(rt.regs))
+		}
+		if rt.lastReg != nil || rt.lastRS != nil {
+			t.Fatalf("epoch %d: Reset left the lastReg cache populated", epoch)
+		}
+		if genLive(slotted.DepGen()) {
+			t.Fatalf("epoch %d: pre-Reset generation %d still live", epoch, slotted.DepGen())
+		}
+	}
+	if got := ran.Load(); got != 60 {
+		t.Fatalf("ran %d tasks, want 60", got)
+	}
+	// Post-Reset reuse still wires dependences.
+	submitGatedChain(t, rt, slotted)
+}

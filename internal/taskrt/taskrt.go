@@ -148,6 +148,13 @@ type Task struct {
 	// OnFinished).
 	MemoScratch any
 
+	// slab points to the slab this task was carved from and sgen snapshots
+	// the slab's recycle generation at carve time: a mismatch later means
+	// a completion fence has retired the task and its memory may belong to
+	// a newer task (see CompleteExternal).
+	slab *taskSlab
+	sgen uint32
+
 	// Inline storage for the common small-task shape (≤2 accesses — hence
 	// ≤4 regions, since an inout access lands in both halves — and ≤2
 	// successors): keeps submission and the lazy partition at zero
@@ -218,6 +225,26 @@ func (t *Task) Inputs() []region.Region {
 func (t *Task) Outputs() []region.Region {
 	t.ensureRegions()
 	return t.regions[t.ninlen:]
+}
+
+// reset clears a recycled slab cell back to the carvable zero state. The
+// cell's previous task completed before the fence that retired its slab,
+// so every field is quiescent: npred is 0 (the ready condition), succ1
+// holds succDone, succs was nilled and the inline successor slots cleared
+// by complete(). Fields are cleared individually instead of assigning a
+// zero Task so the mutex is not copied (vet copylocks).
+func (t *Task) reset() {
+	t.accesses = nil
+	t.regions = nil
+	t.ninlen = 0
+	t.npred.Store(0)
+	t.succ1.Store(nil)
+	t.succs = nil
+	t.done = false
+	t.MemoScratch = nil
+	t.accInline = [2]Access{}
+	t.regInline = [4]region.Region{}
+	t.succInline = [2]*Task{}
 }
 
 // Region returns access i's region (convenience for task bodies).
@@ -329,9 +356,11 @@ type Config struct {
 // Scheduling state is decentralized (see sched.go): each worker owns a
 // deque it pushes newly-readied successors onto and steals from peers
 // when empty; master-thread submissions go through a sharded injector.
-// The dependence registry (regs) is touched only by the master thread,
-// and per-task wiring is guarded by the tasks' own locks, so there is no
-// global runtime mutex on any hot path.
+// Dependence state is touched only by the master thread — reached
+// through generation-checked slots embedded in the regions themselves
+// (see depState; the regs map is only a fallback) — and per-task wiring
+// is guarded by the tasks' own locks, so there is no global runtime
+// mutex on any hot path.
 type Runtime struct {
 	workers  int
 	memo     Memoizer
@@ -386,15 +415,40 @@ type Runtime struct {
 	wlocal     []workerLocal
 
 	// Master-thread-only state (Submit is single-goroutine by contract).
-	// Tasks are carved out of slabs so a submission storm costs one
-	// allocation per taskSlabSize tasks instead of one per task; a slab is
-	// collected wholesale once none of its tasks are referenced.
-	regs    map[region.Region]*regState
-	lastReg region.Region // 1-entry regs cache for same-region resubmits
-	lastRS  *regState
-	nextID  uint64
-	slab    []Task
-	slabOff int
+	//
+	// Dependence state: slotted regions (region.Slotted, i.e. every
+	// concrete region type) carry their *regState in an embedded DepSlot
+	// stamped with this runtime's generation — the steady-state submit
+	// path performs zero map operations. regs is the fallback registry,
+	// holding only foreign (unslotted) regions and regions whose slot is
+	// stamped by another live runtime; slotStates is the live-slot list
+	// the Close/Reset sweeps walk instead of a map iteration.
+	//
+	// Task slabs: tasks are carved out of fixed-size slabs so a
+	// submission storm costs one allocation per taskSlabSize tasks
+	// instead of one per task. Filled slabs accumulate in liveSlabs; the
+	// first submission after a completion fence (Wait/Fence, which proves
+	// every carved task has completed) retires them to the bounded
+	// freeSlabs list for reuse, bumping each slab's recycle generation —
+	// recycling replaces the GC-assist share of slab allocation with a
+	// per-cell reset.
+	gen        uint64 // runtime generation stamped into claimed DepSlots
+	fenceSeq   uint64 // bumped per retire; regStates lazily resync to it
+	regs       map[region.Region]*regState
+	slotStates []*regState
+	lastReg    region.Region // 1-entry dependence-state cache
+	lastRS     *regState
+	nextID     uint64
+	slab       *taskSlab
+	slabOff    int
+	slabGen    uint32 // current slab's recycle generation (can't change while current)
+	liveSlabs  []*taskSlab
+	freeSlabs  []*taskSlab
+
+	// fencePending is set by Wait/Fence (any goroutine) and consumed by
+	// the master at its next submission, so all slab recycling happens on
+	// the master thread no matter who fences.
+	fencePending atomic.Bool
 
 	// Adaptive-throttle state (master-only): a sampled EWMA of task
 	// payload bytes, refreshed into backlogHigh every watermarkRefresh
@@ -406,18 +460,72 @@ type Runtime struct {
 	fixedWindow bool
 
 	// SubmitBatch scratch (master-only), reused across batches.
-	batchNpred []int32
-	batchReady []*Task
-	batchObs   BatchObserver
-	batchSize  int
-	ptrSlab    []*Task
-	ptrOff     int
+	// oldPtrSlabs holds used portions of replaced pointer slabs until the
+	// next fence scrubs them (they may carry still-valid result slices
+	// until then, so replacement time is too early to scrub).
+	batchNpred  []int32
+	batchReady  []*Task
+	batchObs    BatchObserver
+	batchSize   int
+	ptrSlab     []*Task
+	ptrOff      int
+	oldPtrSlabs [][]*Task
 
 	wg sync.WaitGroup
 }
 
 // taskSlabSize is the number of Task structs per master-side slab.
+// (Sizing note: 256-task slabs cross Go's 32 KiB large-object threshold
+// and regressed the memoized path by 20%; see PERFORMANCE.md.)
 const taskSlabSize = 64
+
+// taskSlab is one master-side task slab. gen counts recycles: it is
+// bumped when a completion fence retires the slab to the free list, so a
+// task pointer that outlives the fence is detectable (its Task.sgen no
+// longer matches). recycled marks slabs whose cells need a reset at
+// carve time; fresh allocations are already zero.
+type taskSlab struct {
+	gen      atomic.Uint32
+	recycled bool
+	tasks    [taskSlabSize]Task
+}
+
+// Runtime generations. Every Runtime instance (and every Reset epoch
+// within one) gets a process-unique generation to stamp into region
+// DepSlots. The registry tracks the generations currently *live* — so a
+// later claimant can distinguish the stamp of a live runtime (fall back
+// to the map) from a stale one (closed runtime or pre-Reset epoch: safe
+// to reclaim). Tracking live rather than retired generations keeps the
+// map bounded by the number of live runtimes, not by how many have ever
+// existed — a long-running service Resetting per phase stays flat. All
+// of this is cold-path only: the steady state is a slot whose
+// generation already matches.
+var (
+	genSeq   atomic.Uint64
+	genMu    sync.Mutex
+	liveGens = map[uint64]struct{}{}
+)
+
+func newGen() uint64 {
+	g := genSeq.Add(1)
+	genMu.Lock()
+	liveGens[g] = struct{}{}
+	genMu.Unlock()
+	return g
+}
+
+func retireGen(g uint64) {
+	genMu.Lock()
+	delete(liveGens, g)
+	genMu.Unlock()
+}
+
+func genLive(g uint64) bool {
+	genMu.Lock()
+	_, ok := liveGens[g]
+	genMu.Unlock()
+	return ok
+}
 
 // npredGuard is the submission-guard bias held in Task.npred while the
 // master wires dependences; it is far larger than any real predecessor
@@ -458,7 +566,23 @@ const DefaultBatchSize = 64
 type regState struct {
 	lastWriter   *Task
 	readers      []*Task
+	fenceSeq     uint64 // last fence epoch this state was used in
 	readerInline [4]*Task
+}
+
+// refresh lazily drops dependence state left over from before the last
+// slab-recycling fence. Every task recorded here completed before that
+// fence, so the references are semantically dead — but the cells they
+// point to may since have been re-carved into unrelated live tasks, and
+// following them would wire false edges. One compare per region touch
+// replaces the eager whole-registry sweep that PERFORMANCE.md records as
+// a dead end.
+func (rs *regState) refresh(fenceSeq uint64) {
+	if rs.fenceSeq != fenceSeq {
+		rs.lastWriter = nil
+		rs.clearReaders()
+		rs.fenceSeq = fenceSeq
+	}
 }
 
 // clearReaders resets the reader list, nilling the populated inline slots
@@ -477,7 +601,11 @@ func (rs *regState) clearReaders() {
 	rs.readers = nil
 }
 
-// New starts a runtime with cfg.Workers workers. Call Close when done.
+// New starts a runtime with cfg.Workers workers. Call Close when done —
+// it is required, not advisory: an abandoned Runtime leaks its worker
+// goroutines, and its region-slot generation stays registered as live,
+// demoting every region it stamped to the map-fallback path in all
+// later runtimes.
 func New(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
@@ -497,6 +625,8 @@ func New(cfg Config) *Runtime {
 		locals:  make([]readyQ, cfg.Workers),
 		inj:     make([]readyQ, nshards),
 		regs:    make(map[region.Region]*regState),
+		gen:     newGen(),
+		slab:    &taskSlab{},
 	}
 	rt.parkCond = sync.NewCond(&rt.parkMu)
 	rt.waitCond = sync.NewCond(&rt.waitMu)
@@ -619,16 +749,122 @@ func (rt *Runtime) BacklogLimit() int { return int(rt.backlogHigh.Load()) }
 // its type and id; the caller fills the accesses (the input/output
 // partition is computed lazily by ensureRegions).
 func (rt *Runtime) carveRaw(tt *TaskType) *Task {
-	if rt.slabOff == len(rt.slab) {
-		rt.slab = make([]Task, taskSlabSize)
+	if rt.slabOff == taskSlabSize {
+		// Track the filled slab for recycling at the next fence — but only
+		// up to one throttle window's worth. Tracking pins the slab until a
+		// fence, so a fence-light submission storm (millions of tasks, one
+		// final Wait) must shed the excess to the GC as completion frees
+		// them, exactly as before recycling existed; otherwise the tracked
+		// list itself would grow the live heap without bound.
+		if len(rt.liveSlabs) < rt.slabTrackLimit() {
+			rt.liveSlabs = append(rt.liveSlabs, rt.slab)
+		}
+		rt.slab = rt.takeSlab()
+		rt.slabGen = rt.slab.gen.Load()
 		rt.slabOff = 0
 	}
-	t := &rt.slab[rt.slabOff]
+	t := &rt.slab.tasks[rt.slabOff]
 	rt.slabOff++
+	if rt.slab.recycled {
+		t.reset()
+	}
+	t.slab = rt.slab
+	t.sgen = rt.slabGen
 	t.typ = tt
 	t.id = rt.nextID
 	rt.nextID++
 	return t
+}
+
+// takeSlab pops a recycled slab from the free list, or allocates a fresh
+// one.
+func (rt *Runtime) takeSlab() *taskSlab {
+	if n := len(rt.freeSlabs); n > 0 {
+		s := rt.freeSlabs[n-1]
+		rt.freeSlabs[n-1] = nil
+		rt.freeSlabs = rt.freeSlabs[:n-1]
+		return s
+	}
+	return &taskSlab{}
+}
+
+// retireSlabs moves every filled slab to the free list for reuse. Called
+// by the master at its first submission after a completion fence
+// (fencePending): at the fence every carved task had completed, and
+// between the fence and this call the master — the only carver — created
+// none, so all filled slabs hold only completed tasks. Each retired
+// slab's recycle generation is bumped (stale Task pointers become
+// detectable) and the fence epoch advances so regStates lazily drop
+// dependence references into recycled cells. The free list is bounded to
+// one throttle window's worth of slabs; excess slabs fall to the GC.
+func (rt *Runtime) retireSlabs() {
+	rt.lastReg, rt.lastRS = nil, nil
+	if len(rt.liveSlabs) == 0 {
+		return
+	}
+	rt.fenceSeq++
+	// All outstanding SubmitBatch result pointers die at this fence;
+	// scrub the pointer slabs — current and any replaced since the last
+	// fence — so stale entries cannot pin retired tasks' slabs (callers'
+	// slices share this backing — their contents become nil rather than
+	// silently aliasing re-carved cells). ptrOff is NOT reset: long-lived
+	// Batcher buffers keep aliasing their original segments, so reusing
+	// the storage would hand one segment to two owners. The slab stays
+	// monotonic and reallocates when exhausted.
+	for i := range rt.ptrSlab[:rt.ptrOff] {
+		rt.ptrSlab[i] = nil
+	}
+	for i, ps := range rt.oldPtrSlabs {
+		for j := range ps {
+			ps[j] = nil
+		}
+		rt.oldPtrSlabs[i] = nil
+	}
+	rt.oldPtrSlabs = rt.oldPtrSlabs[:0]
+	limit := rt.slabTrackLimit()
+	for i, s := range rt.liveSlabs {
+		rt.liveSlabs[i] = nil
+		// Bump the recycle generation of every retired slab — also the
+		// ones dropped to the GC past the free-list bound — so a stale
+		// CompleteExternal straggler is detectable either way.
+		s.gen.Add(1)
+		if len(rt.freeSlabs) < limit {
+			s.recycled = true
+			rt.freeSlabs = append(rt.freeSlabs, s)
+		}
+	}
+	rt.liveSlabs = rt.liveSlabs[:0]
+}
+
+// slabTrackLimit bounds both the tracked-filled-slab list and the free
+// list to one submission-throttle window's worth of slabs: the window is
+// the most tasks that can be in flight, so more slabs than this cannot
+// all hold live tasks anyway.
+func (rt *Runtime) slabTrackLimit() int {
+	return int(rt.backlogHigh.Load())/taskSlabSize + 2
+}
+
+// consumeFence runs the deferred fence work (slab retirement) if a fence
+// was crossed since the last submission. Master-only; called on entry to
+// Submit and SubmitBatch, before any carving. The quiescence re-check
+// makes stray fences harmless: Wait may be called from any goroutine,
+// and a non-master waiter can observe completed == submitted in the
+// window after the master has carved a batch but before the batch is
+// counted in submitted — raising the flag while those tasks are still
+// running. Retiring then would recycle slabs holding live tasks, so the
+// flag only takes effect when the counters prove every carved task has
+// completed (submitted is stable here: the master is the only writer,
+// and it is the caller). A skipped fence costs nothing but the missed
+// recycle; the next true barrier re-raises it.
+func (rt *Runtime) consumeFence() {
+	if !rt.fencePending.Load() {
+		return
+	}
+	rt.fencePending.Store(false)
+	if rt.completed.Load() != rt.submitted.Load() {
+		return
+	}
+	rt.retireSlabs()
 }
 
 // carve creates a task copying the caller's access slice (inline for the
@@ -747,11 +983,7 @@ func (rt *Runtime) wire(t *Task, batchStart uint64) int32 {
 	for _, a := range t.accesses {
 		rs := rt.lastRS
 		if a.Region != rt.lastReg {
-			rs = rt.regs[a.Region]
-			if rs == nil {
-				rs = &regState{}
-				rt.regs[a.Region] = rs
-			}
+			rs = rt.depState(a.Region)
 			rt.lastReg, rt.lastRS = a.Region, rs
 		}
 		// Opportunistically drop a completed last writer (succ1 holds the
@@ -783,6 +1015,62 @@ func (rt *Runtime) wire(t *Task, batchStart uint64) int32 {
 	return npred
 }
 
+// depState resolves the dependence state for r. The steady state — a
+// slotted region whose DepSlot is already stamped with this runtime's
+// generation — is one interface assertion, one pointer load and two
+// compares, with zero map operations; everything else (first touch,
+// reclaiming a slot left by a closed runtime or a pre-Reset epoch,
+// foreign regions without a slot) is a cold path.
+func (rt *Runtime) depState(r region.Region) *regState {
+	if h, ok := r.(region.Slotted); ok {
+		s := h.DepSlotHeader()
+		if s.DepGen() == rt.gen {
+			rs := s.DepState().(*regState)
+			rs.refresh(rt.fenceSeq)
+			return rs
+		}
+		return rt.claimSlot(r, s)
+	}
+	return rt.mapState(r)
+}
+
+// claimSlot stamps r's DepSlot with this runtime's generation, unless the
+// slot is held by another live runtime — then the map keeps r's state so
+// both runtimes stay consistent (the slot's owner keeps its one-load fast
+// path; this runtime pays the probe for this region only). A slot whose
+// generation is retired (closed runtime, pre-Reset epoch) is reclaimed:
+// its old state belongs to a dependence history that no longer exists.
+func (rt *Runtime) claimSlot(r region.Region, s *region.DepSlot) *regState {
+	if g := s.DepGen(); g != 0 && genLive(g) {
+		return rt.mapState(r)
+	}
+	rs := rt.regs[r]
+	if rs != nil {
+		// The region was tracked in the map while its slot belonged to a
+		// since-retired runtime; promote that state to the slot.
+		delete(rt.regs, r)
+		rs.refresh(rt.fenceSeq)
+	} else {
+		rs = &regState{fenceSeq: rt.fenceSeq}
+	}
+	s.SetDepState(rt.gen, rs)
+	rt.slotStates = append(rt.slotStates, rs)
+	return rs
+}
+
+// mapState is the registry fallback for foreign (unslotted) regions and
+// for slots held by another live runtime.
+func (rt *Runtime) mapState(r region.Region) *regState {
+	rs := rt.regs[r]
+	if rs == nil {
+		rs = &regState{fenceSeq: rt.fenceSeq}
+		rt.regs[r] = rs
+	} else {
+		rs.refresh(rt.fenceSeq)
+	}
+	return rs
+}
+
 // finalizeWiring publishes t's predecessor count and reports whether the
 // task is initially ready: the single-task (Submit) finalize, where every
 // predecessor is an older task. If the guard was installed the balancing
@@ -811,6 +1099,7 @@ func (rt *Runtime) Submit(tt *TaskType, accesses ...Access) *Task {
 	if rt.closed.Load() {
 		panic("taskrt: Submit after Close")
 	}
+	rt.consumeFence()
 	rt.throttle()
 	t := rt.carve(tt, accesses)
 
@@ -940,12 +1229,30 @@ func (rt *Runtime) complete(t *Task, w int) *Task {
 
 // CompleteExternal completes a task that was deferred by the memoizer
 // (OutcomeDeferred) after its outputs have been provided. It must be
-// called exactly once per deferred task.
-func (rt *Runtime) CompleteExternal(t *Task) { rt.complete(t, -1) }
+// called exactly once per deferred task, and before the next completion
+// fence can pass (Wait cannot return while the deferred task is
+// uncompleted, so any correctly-used provider satisfies this). A call
+// that arrives after a fence retired the task's slab is a contract
+// violation; the slab generation stamp catches it in most cases —
+// retired slabs bump their generation — rather than silently corrupting
+// a recycled task. The check is best-effort, not a guarantee: a cell
+// already re-carved carries the new stamp, and slabs shed straight to
+// the GC by a fence-light submission storm are never retired at all.
+func (rt *Runtime) CompleteExternal(t *Task) {
+	if t.slab != nil && t.slab.gen.Load() != t.sgen {
+		panic("taskrt: CompleteExternal on a task already retired by a completion fence")
+	}
+	rt.complete(t, -1)
+}
 
-// Wait blocks until every submitted task has completed (taskwait/barrier).
+// Wait blocks until every submitted task has completed (taskwait/barrier)
+// and marks the completion fence: at the master's next submission, every
+// filled task slab is recycled (see retireSlabs). Task pointers obtained
+// from Submit/SubmitBatch remain valid after Wait — until that next
+// submission.
 func (rt *Runtime) Wait() {
 	if rt.completed.Load() == rt.submitted.Load() {
+		rt.fencePending.Store(true)
 		return
 	}
 	rt.waitMu.Lock()
@@ -959,6 +1266,46 @@ func (rt *Runtime) Wait() {
 		rt.waiting.Store(false)
 	}
 	rt.waitMu.Unlock()
+	rt.fencePending.Store(true)
+}
+
+// Fence is Wait under its slab-recycling name: an explicit completion
+// fence after which the runtime reuses task memory. Use it at phase
+// boundaries where the point is recycling rather than consuming results.
+func (rt *Runtime) Fence() { rt.Wait() }
+
+// Reset discards all dependence-tracking state after a barrier: the
+// runtime detaches from every region it has seen, and subsequently
+// submitted tasks start a fresh dependence history (the OmpSs analogue of
+// dropping all address-range tracking at a taskwait). Claimed region
+// slots are invalidated wholesale by retiring the runtime's generation
+// and assigning a new one — no per-region unstamping pass. Like Submit,
+// Reset must be called from the master goroutine.
+func (rt *Runtime) Reset() {
+	rt.Wait()
+	retireGen(rt.gen)
+	rt.gen = newGen()
+	rt.sweepDepState()
+	rt.regs = make(map[region.Region]*regState)
+}
+
+// sweepDepState releases every task reference the dependence registry
+// holds, walking the live-slot list (a slice scan) plus the normally tiny
+// foreign-region map — not a whole-registry map iteration (regions claim
+// slots precisely so the map stays empty). Master-only; used by Reset and
+// Close.
+func (rt *Runtime) sweepDepState() {
+	for i, rs := range rt.slotStates {
+		rs.lastWriter = nil
+		rs.clearReaders()
+		rt.slotStates[i] = nil
+	}
+	rt.slotStates = rt.slotStates[:0]
+	for _, rs := range rt.regs {
+		rs.lastWriter = nil
+		rs.clearReaders()
+	}
+	rt.lastReg, rt.lastRS = nil, nil
 }
 
 // Close waits for outstanding tasks, then stops the workers. The runtime
@@ -970,12 +1317,17 @@ func (rt *Runtime) Close() {
 	rt.parkCond.Broadcast()
 	rt.parkMu.Unlock()
 	rt.wg.Wait()
-	// Every task is complete; release the registry's task references so
-	// the slabs they pin can be collected even if the Runtime (or the
-	// caller's regions) stay reachable.
-	for _, rs := range rt.regs {
-		rs.lastWriter = nil
-		rs.clearReaders()
-	}
+	// Every task is complete; release the dependence registry's task
+	// references (live-slot list + foreign map, not a whole-map sweep) so
+	// user-held regions whose slots reach regStates cannot pin task
+	// memory, and drop the slab lists themselves.
+	rt.sweepDepState()
+	retireGen(rt.gen)
+	rt.slab = nil
+	rt.liveSlabs = nil
+	rt.freeSlabs = nil
+	rt.ptrSlab = nil
+	rt.ptrOff = 0
+	rt.oldPtrSlabs = nil
 	rt.tracer.Flush()
 }
