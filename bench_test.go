@@ -14,11 +14,13 @@ package atm
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"atm/internal/apps"
 	"atm/internal/core"
 	"atm/internal/harness"
+	"atm/internal/persist"
 	"atm/internal/region"
 	"atm/internal/sampling"
 	"atm/internal/taskrt"
@@ -350,5 +352,104 @@ func BenchmarkSubmitBatch(b *testing.B) {
 			}
 			sb.Flush()
 		})
+	})
+}
+
+// BenchmarkWarmStartHit measures the two costs a persisted snapshot
+// adds to a run (docs/persistence.md): "restore" is decoding and
+// restoring a 64-entry / ~1 MiB snapshot (what a warm start pays once,
+// before the first task), and "hit" is the steady warm-hit latency —
+// submit + THT hit + output copy + wait for a task whose entry came
+// from the restored snapshot rather than from this process's own
+// executions. Gated in BENCH_4.json so restore cost and warm-hit
+// latency cannot silently regress.
+func BenchmarkWarmStartHit(b *testing.B) {
+	const (
+		nInputs = 64
+		elems   = 1024
+	)
+	cfg := core.Config{Mode: core.ModeStatic}
+	newInput := func(v int) *region.Float64 {
+		in := region.NewFloat64(elems)
+		for i := range in.Data {
+			in.Data[i] = float64(v)*0.5 + float64(i)
+		}
+		return in
+	}
+	body := func(task *taskrt.Task) {
+		src, dst := task.Float64s(0), task.Float64s(1)
+		for i := range src {
+			dst[i] = src[i]*1.5 + 2
+		}
+	}
+	buildSnapshot := func(b *testing.B) []byte {
+		b.Helper()
+		memo := core.New(cfg)
+		rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+		tt := rt.RegisterType(taskrt.TypeConfig{Name: "warm", Memoize: true, Run: body})
+		for v := 0; v < nInputs; v++ {
+			rt.Submit(tt, taskrt.In(newInput(v)), taskrt.Out(region.NewFloat64(elems)))
+		}
+		rt.Wait()
+		snap, err := memo.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.Close()
+		data, err := persist.Marshal(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return data
+	}
+
+	b.Run("restore", func(b *testing.B) {
+		data := buildSnapshot(b)
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap, err := persist.Unmarshal(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.Restore(cfg, snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("hit", func(b *testing.B) {
+		snap, err := persist.Unmarshal(buildSnapshot(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		memo, err := core.Restore(cfg, snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+		defer rt.Close()
+		// Misses are counted (not b.Fatal'd) in the body: it runs on a
+		// worker goroutine, where Fatal would kill the worker and hang
+		// Wait instead of failing the benchmark.
+		var missed atomic.Int64
+		tt := rt.RegisterType(taskrt.TypeConfig{Name: "warm", Memoize: true, Run: func(task *taskrt.Task) {
+			missed.Add(1)
+			body(task)
+		}})
+		ins := make([]*region.Float64, nInputs)
+		for v := range ins {
+			ins[v] = newInput(v)
+		}
+		out := region.NewFloat64(elems)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Submit(tt, taskrt.In(ins[i%nInputs]), taskrt.Out(out))
+			rt.Wait()
+		}
+		b.StopTimer()
+		if n := missed.Load(); n != 0 {
+			b.Fatalf("%d warm tasks executed instead of hitting the restored THT", n)
+		}
 	})
 }

@@ -6,16 +6,23 @@
 //	atmbench -experiment fig3 -scale bench -workers 8
 //	atmbench -experiment all -bench Blackscholes,LU
 //	atmbench -experiment stats -bench Swaptions -mode dynamic
+//	atmbench -experiment stats -bench Kmeans -save warm.atmsnap   # then:
+//	atmbench -experiment stats -bench Kmeans -load warm.atmsnap
+//	atmbench -experiment sweep -bench Jacobi -repeats 5
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-// stats all. See DESIGN.md for the experiment index and EXPERIMENTS.md for
-// recorded paper-vs-measured results.
+// stats sweep all. sweep runs each benchmark -repeats times reusing a
+// persisted memoization snapshot between repetitions (the amortization
+// scenario of docs/persistence.md); -save/-load warm-start individual
+// stats runs. See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 
@@ -26,7 +33,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig3", "table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|stats|all")
+		experiment = flag.String("experiment", "fig3", "table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|stats|sweep|all")
 		benchList  = flag.String("bench", "", "comma-separated benchmark filter (Blackscholes,GS,Jacobi,Kmeans,LU,Swaptions)")
 		scaleStr   = flag.String("scale", "bench", "workload scale: test|bench|paper")
 		workers    = flag.Int("workers", defaultWorkers(), "number of worker cores")
@@ -37,6 +44,8 @@ func main() {
 		noIKT      = flag.Bool("no-ikt", false, "stats experiment: disable the IKT")
 		batch      = flag.Int("batch", taskrt.DefaultBatchSize, "submission batch size (0 = per-task Submit)")
 		policyStr  = flag.String("policy", "fifo", "scheduling policy: fifo|lifo")
+		savePath   = flag.String("save", "", "stats/sweep: save the ATM snapshot to this file after the run (suffixed per benchmark when several are selected)")
+		loadPath   = flag.String("load", "", "stats: warm-start the ATM from this snapshot file (suffixed per benchmark when several are selected)")
 	)
 	flag.Parse()
 
@@ -110,7 +119,22 @@ func main() {
 	case "fig9":
 		harness.Fig9(opt)
 	case "stats":
-		runStats(opt, *mode, *level, !*noIKT)
+		runStats(opt, *mode, *level, !*noIKT, *loadPath, *savePath)
+	case "sweep":
+		// The repeated-experiment-sweep scenario: N repetitions of each
+		// benchmark reusing a persisted snapshot (repetition 1 is cold).
+		reps := *repeats
+		if reps < 2 {
+			reps = 5
+		}
+		path := *savePath
+		if path == "" {
+			path = filepath.Join(os.TempDir(), "atmbench-sweep.atmsnap")
+		}
+		if err := harness.Sweep(opt, reps, path); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
 	case "all":
 		harness.Table1(opt)
 		fmt.Println()
@@ -144,8 +168,9 @@ func defaultWorkers() int {
 }
 
 // runStats runs each selected benchmark once under one configuration and
-// dumps the detailed ATM statistics.
-func runStats(opt harness.Options, mode string, level int, ikt bool) {
+// dumps the detailed ATM statistics. load/save warm-start the engine
+// from (and persist it to) a snapshot file.
+func runStats(opt harness.Options, mode string, level int, ikt bool, load, save string) {
 	var spec harness.ATMSpec
 	switch mode {
 	case "baseline":
@@ -165,11 +190,32 @@ func runStats(opt harness.Options, mode string, level int, ikt bool) {
 		names = harness.Benchmarks()
 	}
 	for _, name := range names {
-		ro := harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy}
-		base := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, harness.Baseline(), ro)
+		// With several benchmarks selected, a shared snapshot file would
+		// be overwritten per benchmark (each run saves only its own
+		// types); key the file per benchmark like the sweep does.
+		bload, bsave := load, save
+		if len(names) > 1 {
+			if bload != "" {
+				bload += "." + name
+			}
+			if bsave != "" {
+				bsave += "." + name
+				fmt.Printf("%s: snapshot file %s\n", name, bsave)
+			}
+		}
+		ro := harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy, SnapshotLoad: bload, SnapshotSave: bsave}
+		base := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, harness.Baseline(), harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
 		o := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, spec, ro)
-		fmt.Printf("%s under %s: elapsed=%v speedup=%.2fx correctness=%.3f%% reuse=%.1f%%\n",
-			name, spec.Name(), o.Elapsed, harness.Speedup(base, o), o.App.Correctness(base.App), 100*o.Reuse())
+		if o.SnapshotErr != nil {
+			fmt.Fprintf(os.Stderr, "%s: snapshot: %v\n", name, o.SnapshotErr)
+			os.Exit(1)
+		}
+		start := "cold"
+		if o.WarmStart {
+			start = fmt.Sprintf("warm (%d entries restored)", o.RestoredEntries)
+		}
+		fmt.Printf("%s under %s (%s start): elapsed=%v speedup=%.2fx correctness=%.3f%% reuse=%.1f%% tht-hit-ratio=%.1f%%\n",
+			name, spec.Name(), start, o.Elapsed, harness.Speedup(base, o), o.App.Correctness(base.App), 100*o.Reuse(), 100*o.THTHitRatio())
 		for _, ts := range o.Stats.Types {
 			fmt.Printf("  type %-24s tasks=%-6d exec=%-6d memoTHT=%-6d memoIKT=%-5d trainHits=%-5d trainFail=%-4d excl=%d level=%d (p=%s) steady=%v hash=%v copy=%v\n",
 				ts.Name, ts.Tasks, ts.Executed, ts.MemoizedTHT, ts.MemoizedIKT,

@@ -18,13 +18,18 @@
 // growth over baseline fails.
 //
 // Refreshing baselines: rerun the bench command recorded in the baseline
-// file on a quiet machine, update the gate values, and commit — see
-// docs/ci.md.
+// file on a quiet machine and pass -update — benchgate rewrites the
+// gate.benches values (timed metrics and allocs) in place from the
+// measured output, leaving every other field of the baseline file
+// untouched, instead of gating. Review the diff and commit it alongside
+// the PERFORMANCE.md section explaining the move — see docs/ci.md.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'SubmitBatch|RuntimeSubmitWait|MemoizedVsExecuted' \
 //	    -benchmem -benchtime 200ms . | benchgate -baseline BENCH_3.json -slack 1.5
+//	go test -run '^$' -bench ... -benchmem -benchtime 2s . \
+//	    | benchgate -baseline BENCH_4.json -update
 package main
 
 import (
@@ -107,6 +112,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline JSON file with a top-level \"gate\" object (required)")
 	inPath := flag.String("in", "", "bench output file (default stdin)")
 	slack := flag.Float64("slack", 1.0, "CI machine-delta multiplier applied to timed thresholds (never to allocs)")
+	update := flag.Bool("update", false, "rewrite the baseline's gate values from the measured output instead of gating")
 	flag.Parse()
 	if *baselinePath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
@@ -145,6 +151,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: reading bench output: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *update {
+		if err := updateBaseline(*baselinePath, raw, measured); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	failed := false
@@ -187,4 +201,71 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: ok")
+}
+
+// updateBaseline rewrites the gate.benches values in the baseline file
+// from the measured output. It works on the raw JSON as generic maps so
+// every field outside the gated values — prose, recorded results,
+// max_regress — survives untouched, and refuses to write anything when
+// any gated benchmark or metric is missing from the output: a half-
+// refreshed baseline would gate against a mix of machines.
+func updateBaseline(path string, raw []byte, measured map[string]map[string]float64) error {
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("parsing %s: %v", path, err)
+	}
+	gate, _ := doc["gate"].(map[string]any)
+	benches, _ := gate["benches"].([]any)
+	if len(benches) == 0 {
+		return fmt.Errorf("%s has no gate.benches entries", path)
+	}
+	type change struct {
+		bench  map[string]any
+		metric string
+		value  float64
+		allocs *float64
+	}
+	var changes []change
+	for i, b := range benches {
+		bm, ok := b.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: gate.benches[%d] is not an object", path, i)
+		}
+		name, _ := bm["name"].(string)
+		metric, _ := bm["metric"].(string)
+		got, ok := measured[name]
+		if !ok {
+			return fmt.Errorf("cannot update: benchmark %s missing from output", name)
+		}
+		v, ok := got[metric]
+		if !ok {
+			return fmt.Errorf("cannot update: %s metric %q missing from output", name, metric)
+		}
+		c := change{bench: bm, metric: metric, value: v}
+		if _, gated := bm["allocs_per_op"]; gated {
+			a, ok := got["allocs/op"]
+			if !ok {
+				return fmt.Errorf("cannot update: %s allocs/op missing (run the bench with -benchmem)", name)
+			}
+			c.allocs = &a
+		}
+		changes = append(changes, c)
+	}
+	for _, c := range changes {
+		old, _ := c.bench["value"].(float64)
+		c.bench["value"] = c.value
+		fmt.Printf("update  %s %s: %.1f -> %.1f\n", c.bench["name"], c.metric, old, c.value)
+		if c.allocs != nil {
+			c.bench["allocs_per_op"] = *c.allocs
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchgate: rewrote %d gate values in %s\n", len(changes), path)
+	return nil
 }

@@ -25,6 +25,15 @@
 //     dynamic / fixed-p operating modes. The steady-state hit path is
 //     allocation- and lock-free (per-worker hashers and stat shards,
 //     atomic type/plan lookups, sampled overhead timing).
+//   - internal/persist — the versioned binary codec for memoization
+//     snapshots: core.(*ATM).Snapshot() extracts the serializable state
+//     (THT entries, per-type adaptive levels, a config fingerprint),
+//     persist Save/Load move it to disk with strict, typed-error
+//     decoding (magic, format version, per-entry CRCs), and
+//     core.Restore warm-starts a fresh engine from it — repeated
+//     experiment sweeps pay the training phase once instead of per
+//     process (docs/persistence.md; atmbench -save/-load and the
+//     `sweep` experiment drive it).
 //   - internal/region, internal/sampling, internal/jenkins,
 //     internal/metrics, internal/trace — the supporting substrates.
 //   - internal/apps/... — the six evaluated benchmarks of Table I.

@@ -1,6 +1,8 @@
 // Package apptest provides shared checks for the benchmark applications:
-// determinism of the workload, bit-exactness under static ATM, and bounded
-// accuracy loss under dynamic ATM. Every app package's tests call into it.
+// determinism of the workload, bit-exactness under static ATM, bounded
+// accuracy loss under dynamic ATM, and warm-start correctness through
+// the snapshot/persist round trip. Every app package's tests call into
+// it.
 package apptest
 
 import (
@@ -8,6 +10,7 @@ import (
 
 	"atm/internal/apps"
 	"atm/internal/core"
+	"atm/internal/persist"
 	"atm/internal/taskrt"
 )
 
@@ -65,6 +68,64 @@ func CheckStaticExact(t *testing.T, f apps.Factory) {
 		t.Fatalf("static correctness=%v", c)
 	}
 	_ = memo
+}
+
+// CheckWarmStart verifies warm-start correctness end to end: the app
+// runs cold under static ATM, the engine is snapshotted and pushed
+// through the persist codec (encode + strict decode, exactly what a
+// save/load cycle does), restored into a fresh engine, and the same
+// workload runs again warm. The warm pass must serve THT hits
+// immediately (MemoizedTHT > 0 with zero restored-state training) and
+// produce outputs bit-identical to the cold run — a snapshot that
+// changed results would be worse than no snapshot at all.
+func CheckWarmStart(t *testing.T, f apps.Factory) {
+	t.Helper()
+	cfg := core.Config{Mode: core.ModeStatic}
+	cold, memo := RunWithATM(f, 4, cfg)
+	snap, err := memo.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	data, err := persist.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	decoded, err := persist.Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	warmEngine, err := core.Restore(cfg, decoded)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+
+	warm := f(apps.ScaleTest)
+	rt := taskrt.New(taskrt.Config{Workers: 4, Memoizer: warmEngine})
+	warm.Run(rt)
+	rt.Close()
+
+	ra, rb := cold.Result(), warm.Result()
+	if len(ra) != len(rb) {
+		t.Fatalf("result arity differs: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if !ra[i].EqualContents(rb[i]) {
+			t.Fatalf("warm-start result region %d diverges from the cold run", i)
+		}
+	}
+	var memoTHT int64
+	for _, ts := range warmEngine.Stats().Types {
+		memoTHT += ts.MemoizedTHT
+		if ts.Executed+ts.MemoizedTHT+ts.MemoizedIKT != ts.Tasks {
+			t.Fatalf("warm-pass accounting leak: %+v", ts)
+		}
+	}
+	if memoTHT == 0 {
+		t.Fatal("warm pass must serve THT hits from the restored snapshot")
+	}
+	if warmEngine.RestoredEntries() == 0 {
+		t.Fatal("restore must have installed snapshot entries")
+	}
 }
 
 // CheckDynamicBounded verifies dynamic ATM stays above the correctness

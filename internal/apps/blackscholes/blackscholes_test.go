@@ -11,6 +11,7 @@ import (
 func TestDeterministic(t *testing.T)  { apptest.CheckDeterministic(t, Factory) }
 func TestStaticExact(t *testing.T)    { apptest.CheckStaticExact(t, Factory) }
 func TestDynamicBounded(t *testing.T) { apptest.CheckDynamicBounded(t, Factory, 95) }
+func TestWarmStart(t *testing.T)      { apptest.CheckWarmStart(t, Factory) }
 
 func TestPriceBlockSanity(t *testing.T) {
 	// A deep in-the-money call with negligible volatility is worth about

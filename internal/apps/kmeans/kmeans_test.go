@@ -10,6 +10,7 @@ import (
 
 func TestDeterministic(t *testing.T) { apptest.CheckDeterministic(t, Factory) }
 func TestStaticExact(t *testing.T)   { apptest.CheckStaticExact(t, Factory) }
+func TestWarmStart(t *testing.T)     { apptest.CheckWarmStart(t, Factory) }
 
 func TestDynamicBounded(t *testing.T) {
 	// Table II gives Kmeans τmax = 20%; the paper reports 98.8% final

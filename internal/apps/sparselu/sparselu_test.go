@@ -10,6 +10,7 @@ import (
 
 func TestDeterministic(t *testing.T) { apptest.CheckDeterministic(t, Factory) }
 func TestStaticExact(t *testing.T)   { apptest.CheckStaticExact(t, Factory) }
+func TestWarmStart(t *testing.T)     { apptest.CheckWarmStart(t, Factory) }
 
 func TestDynamicBounded(t *testing.T) {
 	// LU amplifies errors (§V-B: "errors can get easily propagated"), so

@@ -17,6 +17,8 @@ func TestJacobiDeterministic(t *testing.T) {
 }
 
 func TestGSStaticExact(t *testing.T)  { apptest.CheckStaticExact(t, Factory(GaussSeidel)) }
+func TestGSWarmStart(t *testing.T)    { apptest.CheckWarmStart(t, Factory(GaussSeidel)) }
+func TestJacWarmStart(t *testing.T)   { apptest.CheckWarmStart(t, Factory(Jacobi)) }
 func TestJacStaticExact(t *testing.T) { apptest.CheckStaticExact(t, Factory(Jacobi)) }
 
 func TestGSDynamicBounded(t *testing.T) {

@@ -163,7 +163,13 @@ type typeShard struct {
 type typeState struct {
 	phaseLevel atomic.Uint32 // phase<<8 | level
 	hasExcl    atomic.Bool   // any region in the exclusion set
-	shards     []typeShard   // one per worker, +1 for external callers
+	// seed is the type's stable hash-seed component, derived from the
+	// type name (typeSeed) rather than the runtime-assigned dense ID:
+	// hash keys and shuffle plans must be identical across processes for
+	// persisted snapshots (snapshot.go) to hit on restore. Immutable
+	// after stateSlow publishes the state.
+	seed   uint64
+	shards []typeShard // one per worker, +1 for external callers
 
 	mu        sync.Mutex
 	successes int // consecutive correct approximations at this level
@@ -237,6 +243,12 @@ type ATM struct {
 	typeMu     sync.Mutex
 	typeStates atomic.Pointer[[]*typeState]
 	names      map[int]string
+	// pending holds restored snapshot sections (see Restore) not yet
+	// claimed by a registered task type, keyed by type name; guarded by
+	// typeMu. stateSlow installs and removes a section when its type
+	// first appears.
+	pending  map[string]*TypeSnapshot
+	restored atomic.Int64 // THT entries installed from a snapshot
 
 	workers []workerState
 }
@@ -306,7 +318,7 @@ func (a *ATM) OnBatchSubmitted(tasks []*taskrt.Task) {
 			continue
 		}
 		if _, level := ts.load(); level < sampling.MaxPLevel {
-			a.planFor(tt.ID(), sampling.SignatureOf(ins), ins)
+			a.planFor(tt.ID(), ts.seed, sampling.SignatureOf(ins), ins)
 		}
 	}
 }
@@ -339,6 +351,7 @@ func (a *ATM) stateSlow(tt *taskrt.TaskType) *typeState {
 		nshards = 2
 	}
 	ts := &typeState{
+		seed:      typeSeed(tt.Name()),
 		shards:    make([]typeShard, nshards),
 		failCount: make(map[region.Region]int),
 		excluded:  make(map[region.Region]bool),
@@ -350,6 +363,10 @@ func (a *ATM) stateSlow(tt *taskrt.TaskType) *typeState {
 		ts.phaseLevel.Store(packPhaseLevel(phaseSteady, a.cfg.FixedLevel))
 	default:
 		ts.phaseLevel.Store(packPhaseLevel(phaseTraining, sampling.MinPLevel))
+	}
+	if sec, ok := a.pending[tt.Name()]; ok {
+		delete(a.pending, tt.Name())
+		a.installSection(id, ts, sec)
 	}
 	grown := make([]*typeState, max(id+1, len(cur)))
 	copy(grown, cur)
@@ -378,9 +395,35 @@ func (a *ATM) hasherFor(w int) *jenkins.Streaming {
 	return jenkins.NewStreaming(a.cfg.Seed)
 }
 
+// FNV-1a parameters shared by typeSeed and Fingerprint (snapshot.go):
+// one definition, so the two hashes cannot drift apart by a constant
+// typo.
+const (
+	fnvOffset64 = 1469598103934665603
+	fnvPrime64  = 1099511628211
+)
+
+// typeSeed derives the per-type hash-seed component from the type's
+// name (FNV-1a). A stable name hash — rather than the runtime-assigned
+// dense type ID — keeps hash keys and shuffle plans identical across
+// processes, which is what makes persisted snapshots restorable: a
+// warm-started run recomputes exactly the keys the cold run stored, as
+// long as the type names match.
+func typeSeed(name string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // planFor returns the cached shuffle plan for a task's input layout,
 // building it on first use. The fast path is one atomic map load.
-func (a *ATM) planFor(typeID int, sig uint64, ins []region.Region) *sampling.Plan {
+// tseed is the type's stable seed (typeState.seed): the plan cache is
+// keyed by the per-runtime dense type ID, but the shuffle itself is
+// seeded by the stable name hash so plans reproduce across processes.
+func (a *ATM) planFor(typeID int, tseed uint64, sig uint64, ins []region.Region) *sampling.Plan {
 	pk := planKey{typeID: typeID, sig: sig}
 	if m := a.plans.Load(); m != nil {
 		if p := (*m)[pk]; p != nil {
@@ -397,7 +440,7 @@ func (a *ATM) planFor(typeID int, sig uint64, ins []region.Region) *sampling.Pla
 		}
 	}
 	layout := sampling.LayoutOf(ins)
-	seed := a.cfg.Seed ^ pk.sig ^ (uint64(typeID)+1)*0x9e3779b97f4a7c15
+	seed := a.cfg.Seed ^ pk.sig ^ (tseed|1)*0x9e3779b97f4a7c15
 	p := sampling.NewPlan(layout, seed, !a.cfg.DisableTypeAware)
 	grown := make(map[planKey]*sampling.Plan, len(cur)+1)
 	for k, v := range cur {
@@ -412,15 +455,15 @@ func (a *ATM) planFor(typeID int, sig uint64, ins []region.Region) *sampling.Pla
 // At level 15 (p = 100%) the whole input is streamed element-wise; below
 // that, the cached shuffled index prefix selects the sampled bytes.
 func (a *ATM) HashKey(t *taskrt.Task, level int) uint64 {
-	return a.hashKeyInto(t, level, jenkins.NewStreaming(0))
+	return a.hashKeyInto(t, a.state(t.Type()), level, jenkins.NewStreaming(0))
 }
 
 // hashKeyInto is HashKey on a caller-owned hasher: the worker fast path,
 // free of allocation and locks.
-func (a *ATM) hashKeyInto(t *taskrt.Task, level int, h *jenkins.Streaming) uint64 {
+func (a *ATM) hashKeyInto(t *taskrt.Task, ts *typeState, level int, h *jenkins.Streaming) uint64 {
 	ins := t.Inputs()
 	sig := sampling.SignatureOf(ins)
-	seed := a.cfg.Seed ^ sig ^ (uint64(t.Type().ID())+1)*0xc2b2ae3d27d4eb4f
+	seed := a.cfg.Seed ^ sig ^ (ts.seed|1)*0xc2b2ae3d27d4eb4f
 	h.ResetSeed(seed)
 	if level >= sampling.MaxPLevel {
 		for _, in := range ins {
@@ -428,7 +471,7 @@ func (a *ATM) hashKeyInto(t *taskrt.Task, level int, h *jenkins.Streaming) uint6
 		}
 		return h.Sum64()
 	}
-	plan := a.planFor(t.Type().ID(), sig, ins)
+	plan := a.planFor(t.Type().ID(), ts.seed, sig, ins)
 	runs := plan.SegmentedRuns(level)
 	for i, offsets := range plan.Segmented(level) {
 		if len(offsets) == 0 {
@@ -446,7 +489,7 @@ func (a *ATM) hashKeyInto(t *taskrt.Task, level int, h *jenkins.Streaming) uint6
 // verifyHit confirms a THT key match by comparing the actual sampled input
 // bytes when Config.VerifyInputs is set (the §III-E final check). Without
 // verification it accepts the hit, like the paper's deployed design.
-func (a *ATM) verifyHit(e *Entry, t *taskrt.Task, level int) bool {
+func (a *ATM) verifyHit(e *Entry, t *taskrt.Task, ts *typeState, level int) bool {
 	if !a.cfg.VerifyInputs || e.Ins == nil {
 		return true
 	}
@@ -473,7 +516,7 @@ func (a *ATM) verifyHit(e *Entry, t *taskrt.Task, level int) bool {
 			return false
 		}
 	}
-	plan := a.planFor(t.Type().ID(), sampling.SignatureOf(ins), ins)
+	plan := a.planFor(t.Type().ID(), ts.seed, sampling.SignatureOf(ins), ins)
 	for i, offsets := range plan.Segmented(level) {
 		for _, off := range offsets {
 			if ins[i].ByteAt(int(off)) != e.Ins[i].ByteAt(int(off)) {
@@ -560,7 +603,7 @@ func (a *ATM) OnReady(t *taskrt.Task, worker int) taskrt.Outcome {
 		h0 = time.Now()
 	}
 	h := a.hasherFor(worker)
-	key := a.hashKeyInto(t, level, h)
+	key := a.hashKeyInto(t, ts, level, h)
 	var hashNanos int64
 	if timed {
 		hashNanos = time.Since(h0).Nanoseconds() * tscale // sampled: extrapolate
@@ -594,7 +637,7 @@ func (a *ATM) OnReady(t *taskrt.Task, worker int) taskrt.Outcome {
 
 	// Steady state (or static / fixed-p from the start).
 	if e := a.tht.Lookup(t.Type().ID(), key, int8(level)); e != nil {
-		if outputShapesMatch(e.Outs, t.Outputs()) && a.verifyHit(e, t, level) {
+		if outputShapesMatch(e.Outs, t.Outputs()) && a.verifyHit(e, t, ts, level) {
 			if tracer != nil {
 				tracer.SetState(worker, trace.StateMemo)
 			}

@@ -80,6 +80,15 @@ func (k *IKT) Release(key iktKey, t *taskrt.Task) []*taskrt.Task {
 	return e.waiters
 }
 
+// Len reports the number of in-flight keys currently tracked. It is
+// zero whenever the runtime is quiescent (every provider releases its
+// key at completion), which the snapshot path asserts.
+func (k *IKT) Len() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.m)
+}
+
 // Counters returns (provider insertions, deferred waiters, full-table
 // rejections).
 func (k *IKT) Counters() (inserts, defers, rejected int64) {

@@ -168,6 +168,31 @@ func (t *THT) Insert(e *Entry) {
 	}
 }
 
+// forEach calls fn for every live entry, bucket by bucket in index
+// order and oldest-first within a bucket — a deterministic order, so
+// repeated snapshots of an idle table are byte-identical. Entries are
+// retained across the callback (fn may safely read their buffers while
+// concurrent inserts evict) and released afterwards; fn must not retain
+// references past its return.
+func (t *THT) forEach(fn func(e *Entry)) {
+	var batch []*Entry
+	for bi := range t.buckets {
+		b := &t.buckets[bi]
+		b.mu.RLock()
+		batch = batch[:0]
+		for i := 0; i < b.n; i++ {
+			e := b.entries[(b.head+i)%len(b.entries)]
+			e.retain()
+			batch = append(batch, e)
+		}
+		b.mu.RUnlock()
+		for _, e := range batch {
+			fn(e)
+			e.Release()
+		}
+	}
+}
+
 // MemoryBytes reports the table's current payload size (Table III's
 // numerator).
 func (t *THT) MemoryBytes() int64 { return t.memBytes.Load() }

@@ -79,7 +79,7 @@ func TestVerifyHitRejectsForgedCollision(t *testing.T) {
 		Outs: []region.Region{region.NewFloat64(16)},
 		Ins:  []region.Region{other},
 	}
-	if memo.verifyHit(forged, captured, 15) {
+	if memo.verifyHit(forged, captured, memo.state(captured.Type()), 15) {
 		t.Fatal("verification must reject a forged exact-mode collision")
 	}
 	if memo.FalsePositives() != 1 {
@@ -104,7 +104,7 @@ func TestVerifyHitRejectsForgedCollision(t *testing.T) {
 		Outs: []region.Region{region.NewFloat64(16)},
 		Ins:  []region.Region{lowByteTwin},
 	}
-	if !memo.verifyHit(genuine, captured, 0) {
+	if !memo.verifyHit(genuine, captured, memo.state(captured.Type()), 0) {
 		t.Fatal("approximate verification must only compare sampled bytes")
 	}
 }

@@ -4,6 +4,8 @@
 package harness
 
 import (
+	"errors"
+	"os"
 	"sort"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"atm/internal/apps/stencil"
 	"atm/internal/apps/swaptions"
 	"atm/internal/core"
+	"atm/internal/persist"
 	"atm/internal/taskrt"
 	"atm/internal/trace"
 )
@@ -103,10 +106,29 @@ type Outcome struct {
 	Tracer *trace.Tracer
 	// ATMMemory is the THT payload in bytes at the end of the run.
 	ATMMemory int64
+	// WarmStart reports that the engine was restored from a snapshot
+	// before the run; RestoredEntries counts the THT entries the run
+	// actually installed from it.
+	WarmStart       bool
+	RestoredEntries int64
+	// SnapshotErr records a snapshot load/save failure (the run itself
+	// still happened, cold). A missing file under RunOptions.SnapshotPath
+	// is a normal cold start, not an error.
+	SnapshotErr error
 }
 
 // Reuse returns the run's overall memoized-task fraction.
 func (o Outcome) Reuse() float64 { return o.Stats.TotalReuse() }
+
+// THTHitRatio returns hits over lookups, the warm-start headline
+// number: a warm run's ratio is high from the first task, a cold run's
+// climbs only as the table fills.
+func (o Outcome) THTHitRatio() float64 {
+	if o.Stats.THTLookups == 0 {
+		return 0
+	}
+	return float64(o.Stats.THTHits) / float64(o.Stats.THTLookups)
+}
 
 // RunOptions tune a single run.
 type RunOptions struct {
@@ -123,6 +145,29 @@ type RunOptions struct {
 	Batch int
 	// Policy selects the scheduling discipline (zero value = FIFO).
 	Policy taskrt.SchedPolicy
+	// SnapshotPath names a warm-start snapshot file: when set (and the
+	// spec enables ATM) the engine is restored from it before the run if
+	// the file exists, and the engine's state is saved back to it after
+	// the run — the repeated-experiment-sweep amortization the paper's
+	// training cost asks for. SnapshotLoad / SnapshotSave override the
+	// two halves separately (atmbench's -load / -save); a load path set
+	// explicitly that fails to load is reported in Outcome.SnapshotErr.
+	SnapshotPath string
+	SnapshotLoad string
+	SnapshotSave string
+}
+
+// snapshotPaths resolves the effective load/save paths and whether a
+// failed load is tolerable (SnapshotPath doubles as "load if present").
+func (opt RunOptions) snapshotPaths() (load, save string, loadOptional bool) {
+	load, save = opt.SnapshotLoad, opt.SnapshotSave
+	if load == "" && opt.SnapshotPath != "" {
+		load, loadOptional = opt.SnapshotPath, true
+	}
+	if save == "" {
+		save = opt.SnapshotPath
+	}
+	return load, save, loadOptional
 }
 
 // RunOne builds a fresh workload and executes it once under the spec.
@@ -138,8 +183,28 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 	}
 	var memo *core.ATM
 	var m taskrt.Memoizer
+	var snapErr error
+	warm := false
+	load, save, loadOptional := opt.snapshotPaths()
 	if spec.Enabled {
-		memo = core.New(core.Config{Mode: spec.Mode, FixedLevel: spec.Level, DisableIKT: !spec.IKT, Seed: opt.Seed})
+		cfg := core.Config{Mode: spec.Mode, FixedLevel: spec.Level, DisableIKT: !spec.IKT, Seed: opt.Seed}
+		if load != "" {
+			snap, err := persist.Load(load)
+			if err == nil {
+				memo, err = core.Restore(cfg, snap)
+			}
+			switch {
+			case err == nil:
+				warm = true
+			case loadOptional && errors.Is(err, os.ErrNotExist):
+				// Cold start: the sweep's first repetition.
+			default:
+				snapErr = err
+			}
+		}
+		if memo == nil {
+			memo = core.New(cfg)
+		}
 		m = memo
 	}
 	rt := taskrt.New(taskrt.Config{Workers: workers, Memoizer: m, Tracer: tr, Policy: opt.Policy, BatchSize: opt.Batch})
@@ -149,13 +214,21 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 	elapsed := time.Since(start)
 	rt.Close()
 
-	out := Outcome{App: app, Spec: spec, Workers: workers, Elapsed: elapsed, Tracer: tr}
+	out := Outcome{App: app, Spec: spec, Workers: workers, Elapsed: elapsed, Tracer: tr, WarmStart: warm, SnapshotErr: snapErr}
 	if memo != nil {
 		out.Stats = memo.Stats()
 		out.ATMMemory = memo.MemoryBytes()
+		out.RestoredEntries = memo.RestoredEntries()
 		out.ChosenLevels = map[string]int{}
 		for _, ts := range out.Stats.Types {
 			out.ChosenLevels[ts.Name] = ts.Level
+		}
+		if save != "" && snapErr == nil {
+			if snap, err := memo.Snapshot(); err != nil {
+				out.SnapshotErr = err
+			} else if err := persist.Save(save, snap); err != nil {
+				out.SnapshotErr = err
+			}
 		}
 	}
 	return out

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sweep reproduces the repeated-experiment-sweep scenario the paper's
+// amortization argument rests on: the same workload executed reps
+// times, with the memoization state persisted between repetitions
+// through a snapshot file. Repetition 1 runs cold and saves the
+// snapshot; every later repetition warm-starts from it (and saves it
+// back, so incremental warm-up — e.g. a dynamic type finishing its
+// training in rep 2 — compounds). The report shows, per repetition,
+// the elapsed time, reuse fraction and THT hit ratio, and closes with
+// the warm-vs-cold deltas.
+//
+// Each benchmark gets its own snapshot file (path + "." + name): the
+// fingerprint is config-level, so heterogeneous workloads would
+// otherwise overwrite each other's warm state.
+func Sweep(opt Options, reps int, path string) error {
+	if reps < 2 {
+		reps = 2
+	}
+	spec := Dynamic(true)
+	fmt.Fprintf(opt.Out, "Warm-start sweep: %d repetitions under %s, snapshots at %s.<bench>\n",
+		reps, spec.Name(), path)
+	for _, name := range opt.names() {
+		f := FactoryFor(name)
+		file := path + "." + name
+		t := newTable(opt.Out)
+		t.row("Bench", "Rep", "Start", "Elapsed", "Speedup", "Reuse", "THTHitRatio", "RestoredEntries")
+		var cold, last Outcome
+		for rep := 1; rep <= reps; rep++ {
+			ro := opt.runOpt()
+			if rep == 1 {
+				ro.SnapshotSave = file
+			} else {
+				ro.SnapshotLoad = file
+				ro.SnapshotSave = file
+			}
+			o := RunOne(f, opt.Scale, opt.Workers, spec, ro)
+			if o.SnapshotErr != nil {
+				return fmt.Errorf("sweep %s rep %d: %w", name, rep, o.SnapshotErr)
+			}
+			if rep == 1 {
+				cold = o
+			}
+			last = o
+			startKind := "cold"
+			if o.WarmStart {
+				startKind = "warm"
+			}
+			t.row(name, fmt.Sprint(rep), startKind,
+				o.Elapsed.Round(time.Microsecond).String(),
+				fx(Speedup(cold, o)),
+				fpct(100*o.Reuse()),
+				fpct(100*o.THTHitRatio()),
+				fmt.Sprint(o.RestoredEntries))
+		}
+		t.flush()
+		fmt.Fprintf(opt.Out,
+			"  %s warm-vs-cold: reuse %s -> %s, THT hit ratio %s -> %s, elapsed %v -> %v (%s)\n",
+			name,
+			fpct(100*cold.Reuse()), fpct(100*last.Reuse()),
+			fpct(100*cold.THTHitRatio()), fpct(100*last.THTHitRatio()),
+			cold.Elapsed.Round(time.Microsecond), last.Elapsed.Round(time.Microsecond),
+			fx(Speedup(cold, last)))
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atm/internal/apps"
+	"atm/internal/core"
+)
+
+func TestRunOneSnapshotPathWarmStarts(t *testing.T) {
+	f := FactoryFor("Blackscholes")
+	path := filepath.Join(t.TempDir(), "warm.atmsnap")
+	opt := RunOptions{SnapshotPath: path}
+
+	// First run: the file does not exist — a normal cold start that
+	// saves on finish.
+	cold := RunOne(f, apps.ScaleTest, 4, Static(true), opt)
+	if cold.SnapshotErr != nil {
+		t.Fatalf("cold run: %v", cold.SnapshotErr)
+	}
+	if cold.WarmStart || cold.RestoredEntries != 0 {
+		t.Fatalf("first run must be cold: %+v", cold)
+	}
+
+	// Second run: loads the saved snapshot and hits immediately.
+	warm := RunOne(f, apps.ScaleTest, 4, Static(true), opt)
+	if warm.SnapshotErr != nil {
+		t.Fatalf("warm run: %v", warm.SnapshotErr)
+	}
+	if !warm.WarmStart || warm.RestoredEntries == 0 {
+		t.Fatalf("second run must warm-start: %+v", warm)
+	}
+	if warm.Reuse() <= cold.Reuse() {
+		t.Fatalf("warm reuse %v must exceed cold %v", warm.Reuse(), cold.Reuse())
+	}
+	for i, r := range warm.App.Result() {
+		if !r.EqualContents(cold.App.Result()[i]) {
+			t.Fatalf("warm result region %d diverges", i)
+		}
+	}
+
+	// A mismatched spec (different fingerprint) must surface the typed
+	// error, not silently serve hits — and the run still completes cold.
+	bad := RunOne(f, apps.ScaleTest, 4, Static(true), RunOptions{SnapshotLoad: path, Seed: 99})
+	if !errors.Is(bad.SnapshotErr, core.ErrSnapshotConfig) {
+		t.Fatalf("fingerprint mismatch must be typed: %v", bad.SnapshotErr)
+	}
+	if bad.WarmStart || bad.RestoredEntries != 0 {
+		t.Fatal("mismatched snapshot must not warm-start or restore entries")
+	}
+}
+
+func TestSweepReportsWarmDeltas(t *testing.T) {
+	var buf bytes.Buffer
+	opt := testOpts(&buf, "Blackscholes")
+	if err := Sweep(opt, 3, filepath.Join(t.TempDir(), "sweep.atmsnap")); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cold", "warm", "warm-vs-cold", "THTHitRatio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep report missing %q:\n%s", want, out)
+		}
+	}
+}

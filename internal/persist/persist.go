@@ -1,0 +1,469 @@
+// Package persist defines the versioned external representation of a
+// core memoization snapshot: the on-disk format that lets a process
+// warm-start from a previous run's Task History Table instead of
+// re-paying the training phase (ROADMAP: warm-start memoization for
+// repeated experiment sweeps).
+//
+// The format is a length-prefixed little-endian binary layout:
+//
+//	[8]  magic "ATMSNAP\x00"
+//	[4]  u32 format version (currently 1)
+//	[8]  u64 config fingerprint (core.Fingerprint)
+//	[24] 3 × i64 IKT counters (inserts, defers, rejected)
+//	[4]  u32 section count
+//	...  sections, each:
+//	       [4] u32 body length, then the body:
+//	         u16 name length + name bytes
+//	         u8 flags (bit 0: steady), u8 level
+//	         u32 successes, u32 excluded-region count
+//	         u32 entry count
+//	         entries, each:
+//	           [4] u32 body length, then the body:
+//	             u64 key, u8 level, u64 provider id
+//	             u16 output count + regions
+//	             u16 input-snapshot count + regions
+//	           [4] u32 CRC-32 (IEEE) of the entry body
+//	region encoding: u8 kind, u32 element count, raw little-endian payload
+//
+// Decoding is strict: every length prefix must match its content
+// exactly, every enum must be in range, every entry CRC must verify,
+// and no trailing bytes are tolerated. Violations surface as typed
+// errors (ErrBadMagic, ErrVersion, ErrTruncated, ErrCorrupt) — never a
+// panic and never a silently mis-decoded snapshot. Version or
+// fingerprint skew therefore degrades a warm start into a cold one
+// with a diagnosable error, not into wrong hits.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"atm/internal/core"
+	"atm/internal/region"
+)
+
+// Version is the current format version. Bump it when the layout
+// changes; Decode rejects every other version (there is no migration:
+// a snapshot is a cache, and a stale cache is discarded).
+const Version = 1
+
+// magic identifies a snapshot file. The trailing NUL guards against
+// text files that happen to start with the same letters.
+var magic = [8]byte{'A', 'T', 'M', 'S', 'N', 'A', 'P', 0}
+
+// Typed decode errors. Decode wraps them with positional detail; test
+// with errors.Is.
+var (
+	ErrBadMagic  = errors.New("persist: not an ATM snapshot (bad magic)")
+	ErrVersion   = errors.New("persist: unsupported snapshot format version")
+	ErrTruncated = errors.New("persist: truncated snapshot")
+	ErrCorrupt   = errors.New("persist: corrupt snapshot")
+)
+
+// Marshal encodes a snapshot into the versioned binary format.
+func Marshal(s *core.Snapshot) ([]byte, error) {
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Fingerprint)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.IKT.Inserts))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.IKT.Defers))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.IKT.Rejected))
+	if len(s.Types) > math.MaxUint32 {
+		return nil, fmt.Errorf("persist: %d sections overflow the format", len(s.Types))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Types)))
+	var body, entry []byte // reused scratch
+	for i := range s.Types {
+		sec := &s.Types[i]
+		var err error
+		body, err = appendSectionBody(body[:0], sec, &entry)
+		if err != nil {
+			return nil, err
+		}
+		if len(body) > math.MaxUint32 {
+			return nil, fmt.Errorf("persist: type %q: %d-byte section overflows the format", sec.Name, len(body))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+		buf = append(buf, body...)
+	}
+	return buf, nil
+}
+
+func appendSectionBody(body []byte, sec *core.TypeSnapshot, entry *[]byte) ([]byte, error) {
+	if len(sec.Name) > math.MaxUint16 {
+		return nil, fmt.Errorf("persist: type name %q overflows the format", sec.Name[:32])
+	}
+	body = binary.LittleEndian.AppendUint16(body, uint16(len(sec.Name)))
+	body = append(body, sec.Name...)
+	var flags byte
+	if sec.Steady {
+		flags |= 1
+	}
+	body = append(body, flags, byte(sec.Level))
+	body = binary.LittleEndian.AppendUint32(body, uint32(sec.Successes))
+	body = binary.LittleEndian.AppendUint32(body, uint32(sec.Excluded))
+	if len(sec.Entries) > math.MaxUint32 {
+		return nil, fmt.Errorf("persist: type %q: %d entries overflow the format", sec.Name, len(sec.Entries))
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(sec.Entries)))
+	for j := range sec.Entries {
+		eb, err := appendEntryBody((*entry)[:0], &sec.Entries[j])
+		if err != nil {
+			return nil, fmt.Errorf("persist: type %q entry %d: %w", sec.Name, j, err)
+		}
+		*entry = eb
+		if len(eb) > math.MaxUint32 {
+			return nil, fmt.Errorf("persist: type %q entry %d: %d-byte body overflows the format", sec.Name, j, len(eb))
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(eb)))
+		body = append(body, eb...)
+		body = binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(eb))
+	}
+	return body, nil
+}
+
+func appendEntryBody(b []byte, e *core.EntrySnapshot) ([]byte, error) {
+	b = binary.LittleEndian.AppendUint64(b, e.Key)
+	b = append(b, byte(e.Level))
+	b = binary.LittleEndian.AppendUint64(b, e.Provider)
+	for _, rs := range [2][]region.Region{e.Outs, e.Ins} {
+		if len(rs) > math.MaxUint16 {
+			return nil, fmt.Errorf("%d regions overflow the format", len(rs))
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(rs)))
+		for _, r := range rs {
+			var err error
+			b, err = appendRegion(b, r)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func appendRegion(b []byte, r region.Region) ([]byte, error) {
+	if r.NumElems() > math.MaxUint32 {
+		return nil, fmt.Errorf("region with %d elements overflows the format", r.NumElems())
+	}
+	b = append(b, byte(r.Kind()))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.NumElems()))
+	switch r := r.(type) {
+	case *region.Float64:
+		for _, v := range r.Data {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+	case *region.Float32:
+		for _, v := range r.Data {
+			b = binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+		}
+	case *region.Int32:
+		for _, v := range r.Data {
+			b = binary.LittleEndian.AppendUint32(b, uint32(v))
+		}
+	case *region.Bytes:
+		b = append(b, r.Data...)
+	default:
+		return nil, fmt.Errorf("unsupported region type %T", r)
+	}
+	return b, nil
+}
+
+// decoder is a bounds-checked cursor over an in-memory buffer. Every
+// read validates the remaining length first, so Decode can never panic
+// on arbitrary input, and allocation sizes are implied by (and checked
+// against) the bytes actually present.
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.off }
+
+func (d *decoder) need(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d, have %d", ErrTruncated, n, d.off, d.remaining())
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	b, err := d.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	b, err := d.need(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	b, err := d.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	b, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// Unmarshal decodes a snapshot, strictly. See the package comment for
+// the error contract.
+func Unmarshal(data []byte) (*core.Snapshot, error) {
+	d := &decoder{data: data}
+	head, err := d.need(8)
+	if err != nil {
+		return nil, err
+	}
+	if [8]byte(head) != magic {
+		return nil, ErrBadMagic
+	}
+	ver, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: file version %d, supported %d", ErrVersion, ver, Version)
+	}
+	s := &core.Snapshot{}
+	if s.Fingerprint, err = d.u64(); err != nil {
+		return nil, err
+	}
+	for _, p := range []*int64{&s.IKT.Inserts, &s.IKT.Defers, &s.IKT.Rejected} {
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		*p = int64(v)
+	}
+	nsec, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for i := uint32(0); i < nsec; i++ {
+		blen, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		body, err := d.need(int(blen))
+		if err != nil {
+			return nil, err
+		}
+		sec, err := decodeSection(body)
+		if err != nil {
+			return nil, fmt.Errorf("section %d: %w", i, err)
+		}
+		if seen[sec.Name] {
+			return nil, fmt.Errorf("%w: duplicate section for type %q", ErrCorrupt, sec.Name)
+		}
+		seen[sec.Name] = true
+		s.Types = append(s.Types, *sec)
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	return s, nil
+}
+
+func decodeSection(body []byte) (*core.TypeSnapshot, error) {
+	d := &decoder{data: body}
+	nlen, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	name, err := d.need(int(nlen))
+	if err != nil {
+		return nil, err
+	}
+	sec := &core.TypeSnapshot{Name: string(name)}
+	flags, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if flags > 1 {
+		return nil, fmt.Errorf("%w: unknown section flags %#x", ErrCorrupt, flags)
+	}
+	sec.Steady = flags&1 != 0
+	level, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if level > 15 {
+		return nil, fmt.Errorf("%w: p level %d out of range", ErrCorrupt, level)
+	}
+	sec.Level = int(level)
+	succ, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	sec.Successes = int(succ)
+	excl, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	sec.Excluded = int(excl)
+	nent, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for j := uint32(0); j < nent; j++ {
+		elen, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		ebody, err := d.need(int(elen))
+		if err != nil {
+			return nil, err
+		}
+		sum, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if crc32.ChecksumIEEE(ebody) != sum {
+			return nil, fmt.Errorf("%w: entry %d CRC mismatch", ErrCorrupt, j)
+		}
+		e, err := decodeEntry(ebody)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", j, err)
+		}
+		sec.Entries = append(sec.Entries, *e)
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d stray bytes in section body", ErrCorrupt, d.remaining())
+	}
+	return sec, nil
+}
+
+func decodeEntry(body []byte) (*core.EntrySnapshot, error) {
+	d := &decoder{data: body}
+	e := &core.EntrySnapshot{}
+	var err error
+	if e.Key, err = d.u64(); err != nil {
+		return nil, err
+	}
+	level, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if level > 15 {
+		return nil, fmt.Errorf("%w: p level %d out of range", ErrCorrupt, level)
+	}
+	e.Level = int8(level)
+	if e.Provider, err = d.u64(); err != nil {
+		return nil, err
+	}
+	for _, dst := range []*[]region.Region{&e.Outs, &e.Ins} {
+		n, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		for k := uint16(0); k < n; k++ {
+			r, err := decodeRegion(d)
+			if err != nil {
+				return nil, err
+			}
+			*dst = append(*dst, r)
+		}
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d stray bytes in entry body", ErrCorrupt, d.remaining())
+	}
+	return e, nil
+}
+
+func decodeRegion(d *decoder) (region.Region, error) {
+	kind, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if kind > byte(region.KindInt32) {
+		return nil, fmt.Errorf("%w: unknown region kind %d", ErrCorrupt, kind)
+	}
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := d.need(int(n) * region.Kind(kind).Size())
+	if err != nil {
+		return nil, err
+	}
+	switch region.Kind(kind) {
+	case region.KindFloat64:
+		r := region.NewFloat64(int(n))
+		for i := range r.Data {
+			r.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		return r, nil
+	case region.KindFloat32:
+		r := region.NewFloat32(int(n))
+		for i := range r.Data {
+			r.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+		}
+		return r, nil
+	case region.KindInt32:
+		r := region.NewInt32(int(n))
+		for i := range r.Data {
+			r.Data[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+		}
+		return r, nil
+	default:
+		r := region.NewBytes(int(n))
+		copy(r.Data, payload)
+		return r, nil
+	}
+}
+
+// Save writes the snapshot to path via a same-directory temp file and
+// rename, so a crash mid-write leaves the previous snapshot (or no
+// file) rather than a truncated one — Load's strict decode would
+// reject the torn file anyway, but the rename keeps the warm state.
+func Save(path string, s *core.Snapshot) error {
+	data, err := Marshal(s)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Load reads and decodes the snapshot at path. A missing file surfaces
+// as an error satisfying errors.Is(err, os.ErrNotExist), which callers
+// treat as "cold start".
+func Load(path string) (*core.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
