@@ -453,3 +453,137 @@ func BenchmarkWarmStartHit(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkDeltaSave pins the incremental-save claim (docs/persistence.md):
+// at a matched table size and matched per-iteration churn, extracting
+// and encoding a delta must cost a small fraction of a whole-table
+// snapshot, because it touches only the churn. The table is bounded
+// (16 buckets x 16 entries, FIFO eviction) so its size is identical
+// and stable under both sub-benchmarks regardless of b.N. Gated in
+// BENCH_5.json.
+func BenchmarkDeltaSave(b *testing.B) {
+	const (
+		elems = 1024 // 8 KiB per entry payload
+		churn = 8    // fresh inserts per save
+	)
+	cfg := core.Config{Mode: core.ModeStatic, NBits: 4, M: 16}
+	body := func(task *taskrt.Task) {
+		src, dst := task.Float64s(0), task.Float64s(1)
+		for i := range src {
+			dst[i] = src[i]*1.5 + 2
+		}
+	}
+	setup := func(b *testing.B) (*core.ATM, *taskrt.Runtime, func(n int)) {
+		b.Helper()
+		memo := core.New(cfg)
+		memo.EnableDeltaTracking()
+		rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+		tt := rt.RegisterType(taskrt.TypeConfig{Name: "churn", Memoize: true, Run: body})
+		next := 0
+		submit := func(n int) {
+			for i := 0; i < n; i++ {
+				in := region.NewFloat64(elems)
+				for j := range in.Data {
+					in.Data[j] = float64(next)*0.5 + float64(j)
+				}
+				next++
+				rt.Submit(tt, taskrt.In(in), taskrt.Out(region.NewFloat64(elems)))
+			}
+			rt.Wait()
+		}
+		submit(512) // fill to FIFO steady state: table size is pinned at capacity
+		if _, err := memo.SnapshotDelta(); err != nil {
+			b.Fatal(err)
+		}
+		return memo, rt, submit
+	}
+
+	b.Run("full", func(b *testing.B) {
+		memo, rt, submit := setup(b)
+		defer rt.Close()
+		var bytes int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			submit(churn) // churn generation is setup, not save cost
+			b.StartTimer()
+			snap, err := memo.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			data, err := persist.Marshal(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes = int64(len(data))
+		}
+		b.ReportMetric(float64(bytes), "save-bytes")
+	})
+	b.Run("delta", func(b *testing.B) {
+		memo, rt, submit := setup(b)
+		defer rt.Close()
+		var bytes int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			submit(churn) // churn generation is setup, not save cost
+			b.StartTimer()
+			d, err := memo.SnapshotDelta()
+			if err != nil {
+				b.Fatal(err)
+			}
+			data, err := persist.MarshalChain(nil, []*core.Delta{d})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes = int64(len(data))
+		}
+		b.ReportMetric(float64(bytes), "save-bytes")
+	})
+}
+
+// BenchmarkMergeSnapshots measures combining four 64-entry shard
+// snapshots with overlapping key ranges into one warm-start snapshot —
+// the per-sweep cost of the shard-merge workflow. Gated in
+// BENCH_5.json.
+func BenchmarkMergeSnapshots(b *testing.B) {
+	const (
+		shardCount = 4
+		perShard   = 64
+		elems      = 1024
+	)
+	body := func(task *taskrt.Task) {
+		src, dst := task.Float64s(0), task.Float64s(1)
+		for i := range src {
+			dst[i] = src[i]*1.5 + 2
+		}
+	}
+	cfg := core.Config{Mode: core.ModeStatic}
+	shards := make([]*core.Snapshot, shardCount)
+	for s := range shards {
+		memo := core.New(cfg)
+		rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+		tt := rt.RegisterType(taskrt.TypeConfig{Name: "churn", Memoize: true, Run: body})
+		for v := 0; v < perShard; v++ {
+			in := region.NewFloat64(elems)
+			for j := range in.Data {
+				// Half of each shard's inputs overlap its neighbor's.
+				in.Data[j] = float64(s*perShard/2+v)*0.5 + float64(j)
+			}
+			rt.Submit(tt, taskrt.In(in), taskrt.Out(region.NewFloat64(elems)))
+		}
+		rt.Wait()
+		snap, err := memo.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.Close()
+		shards[s] = snap
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := persist.MergeSnapshots(shards...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

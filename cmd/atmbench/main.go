@@ -8,14 +8,22 @@
 //	atmbench -experiment stats -bench Swaptions -mode dynamic
 //	atmbench -experiment stats -bench Kmeans -save warm.atmsnap   # then:
 //	atmbench -experiment stats -bench Kmeans -load warm.atmsnap
+//	atmbench -experiment stats -bench Kmeans -chain warm.atmchain # delta-append saves
 //	atmbench -experiment sweep -bench Jacobi -repeats 5
+//	atmbench -experiment shardsweep -bench Blackscholes,Kmeans -repeats 3
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-// stats sweep all. sweep runs each benchmark -repeats times reusing a
-// persisted memoization snapshot between repetitions (the amortization
-// scenario of docs/persistence.md); -save/-load warm-start individual
-// stats runs. See DESIGN.md for the experiment index and EXPERIMENTS.md
-// for recorded paper-vs-measured results.
+// stats sweep shardsweep all. sweep runs each benchmark -repeats times
+// reusing a persisted memoization snapshot between repetitions (the
+// amortization scenario of docs/persistence.md); -save/-load warm-start
+// individual stats runs, while -chain (optionally with -delta-every)
+// persists them incrementally — each save appends a delta record
+// instead of rewriting the table. shardsweep treats each benchmark as
+// one sweep shard saving per-rep deltas into its own chain, then
+// compacts + merges the chains and warm-starts every shard from the
+// single merged file (the snapshotctl merge workflow). See DESIGN.md
+// for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"atm/internal/apps"
 	"atm/internal/harness"
@@ -33,7 +42,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig3", "table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|stats|sweep|all")
+		experiment = flag.String("experiment", "fig3", "table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|stats|sweep|shardsweep|all")
 		benchList  = flag.String("bench", "", "comma-separated benchmark filter (Blackscholes,GS,Jacobi,Kmeans,LU,Swaptions)")
 		scaleStr   = flag.String("scale", "bench", "workload scale: test|bench|paper")
 		workers    = flag.Int("workers", defaultWorkers(), "number of worker cores")
@@ -46,6 +55,9 @@ func main() {
 		policyStr  = flag.String("policy", "fifo", "scheduling policy: fifo|lifo")
 		savePath   = flag.String("save", "", "stats/sweep: save the ATM snapshot to this file after the run (suffixed per benchmark when several are selected)")
 		loadPath   = flag.String("load", "", "stats: warm-start the ATM from this snapshot file (suffixed per benchmark when several are selected)")
+		chainPath  = flag.String("chain", "", "stats: incremental chain file — warm-start from it when present and append a delta record of this run's churn (suffixed per benchmark when several are selected)")
+		deltaEvery = flag.Duration("delta-every", 0, "stats: with -chain, also append a delta record every interval while the run executes")
+		shardDir   = flag.String("shard-dir", "", "shardsweep: directory for the per-shard chain files and the merged snapshot (default: a temp directory)")
 	)
 	flag.Parse()
 
@@ -119,7 +131,7 @@ func main() {
 	case "fig9":
 		harness.Fig9(opt)
 	case "stats":
-		runStats(opt, *mode, *level, !*noIKT, *loadPath, *savePath)
+		runStats(opt, *mode, *level, !*noIKT, *loadPath, *savePath, *chainPath, *deltaEvery)
 	case "sweep":
 		// The repeated-experiment-sweep scenario: N repetitions of each
 		// benchmark reusing a persisted snapshot (repetition 1 is cold).
@@ -133,6 +145,26 @@ func main() {
 		}
 		if err := harness.Sweep(opt, reps, path); err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+	case "shardsweep":
+		// The sharded sweep + merge scenario: each benchmark is one
+		// shard saving per-rep deltas; the chains are compacted, merged
+		// and used for a warm restart of every shard.
+		reps := *repeats
+		if reps < 2 {
+			reps = 3
+		}
+		dir := *shardDir
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "atmbench-shardsweep"); err != nil {
+				fmt.Fprintf(os.Stderr, "shardsweep: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := harness.ShardedSweep(opt, reps, dir); err != nil {
+			fmt.Fprintf(os.Stderr, "shardsweep: %v\n", err)
 			os.Exit(1)
 		}
 	case "all":
@@ -169,8 +201,10 @@ func defaultWorkers() int {
 
 // runStats runs each selected benchmark once under one configuration and
 // dumps the detailed ATM statistics. load/save warm-start the engine
-// from (and persist it to) a snapshot file.
-func runStats(opt harness.Options, mode string, level int, ikt bool, load, save string) {
+// from (and persist it to) a whole-table snapshot file; chain switches
+// to incremental persistence (append a delta record per save, plus one
+// every deltaEvery while running).
+func runStats(opt harness.Options, mode string, level int, ikt bool, load, save, chain string, deltaEvery time.Duration) {
 	var spec harness.ATMSpec
 	switch mode {
 	case "baseline":
@@ -193,7 +227,7 @@ func runStats(opt harness.Options, mode string, level int, ikt bool, load, save 
 		// With several benchmarks selected, a shared snapshot file would
 		// be overwritten per benchmark (each run saves only its own
 		// types); key the file per benchmark like the sweep does.
-		bload, bsave := load, save
+		bload, bsave, bchain := load, save, chain
 		if len(names) > 1 {
 			if bload != "" {
 				bload += "." + name
@@ -202,8 +236,13 @@ func runStats(opt harness.Options, mode string, level int, ikt bool, load, save 
 				bsave += "." + name
 				fmt.Printf("%s: snapshot file %s\n", name, bsave)
 			}
+			if bchain != "" {
+				bchain += "." + name
+				fmt.Printf("%s: chain file %s\n", name, bchain)
+			}
 		}
-		ro := harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy, SnapshotLoad: bload, SnapshotSave: bsave}
+		ro := harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy,
+			SnapshotLoad: bload, SnapshotSave: bsave, SnapshotChain: bchain, SnapshotDeltaEvery: deltaEvery}
 		base := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, harness.Baseline(), harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
 		o := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, spec, ro)
 		if o.SnapshotErr != nil {
@@ -213,6 +252,9 @@ func runStats(opt harness.Options, mode string, level int, ikt bool, load, save 
 		start := "cold"
 		if o.WarmStart {
 			start = fmt.Sprintf("warm (%d entries restored)", o.RestoredEntries)
+		}
+		if bchain != "" {
+			fmt.Printf("%s: appended %d delta record(s), %d bytes, to %s\n", name, o.DeltaSaves, o.DeltaBytes, bchain)
 		}
 		fmt.Printf("%s under %s (%s start): elapsed=%v speedup=%.2fx correctness=%.3f%% reuse=%.1f%% tht-hit-ratio=%.1f%%\n",
 			name, spec.Name(), start, o.Elapsed, harness.Speedup(base, o), o.App.Correctness(base.App), 100*o.Reuse(), 100*o.THTHitRatio())

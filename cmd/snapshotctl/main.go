@@ -1,0 +1,259 @@
+// Command snapshotctl operates on ATM memoization snapshot files —
+// version-1 whole-table snapshots and version-2 incremental chains
+// (docs/persistence.md):
+//
+//	snapshotctl inspect <file>...          summarize header, records and sections
+//	snapshotctl verify <file>...           strict decode; exit 1 on the first bad file
+//	snapshotctl compact -o out <file>...   fold a chain (base + deltas) into one full snapshot
+//	snapshotctl merge -o out <file>...     merge shard snapshots/chains into one warm-start file
+//
+// compact consumes one chain: the first file must carry the base
+// record, later files may be delta-only continuations (a shard's
+// incremental saves), applied in argument order. merge first compacts
+// every input independently, then combines them last-writer-wins by
+// key with the deterministic tie-break pinned in persist.MergeSnapshots
+// — the shard-merge workflow of a sweep split across machines. Both
+// write a version-2 file holding a single base record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"atm/internal/core"
+	"atm/internal/persist"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(err io.Writer) int {
+	fmt.Fprintln(err, "usage: snapshotctl <inspect|verify|compact|merge> [-o out] <file>...")
+	return 2
+}
+
+func run(args []string, out, errw io.Writer) int {
+	if len(args) < 1 {
+		return usage(errw)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "inspect":
+		return inspect(rest, out, errw)
+	case "verify":
+		return verify(rest, out, errw)
+	case "compact":
+		return fold(rest, out, errw, false)
+	case "merge":
+		return fold(rest, out, errw, true)
+	default:
+		fmt.Fprintf(errw, "snapshotctl: unknown command %q\n", cmd)
+		return usage(errw)
+	}
+}
+
+// loadFile decodes one snapshot file of either version.
+func loadFile(path string) (*core.Snapshot, []*core.Delta, error) {
+	return persist.LoadChain(path)
+}
+
+// decodeAny decodes already-read bytes of either format version.
+func decodeAny(path string, data []byte) (ver uint32, base *core.Snapshot, deltas []*core.Delta, err error) {
+	if ver, err = persist.FileVersion(data); err != nil {
+		return 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch ver {
+	case persist.Version:
+		base, err = persist.Unmarshal(data)
+	case persist.Version2:
+		base, deltas, err = persist.UnmarshalChain(data)
+	default:
+		err = fmt.Errorf("unsupported file version %d", ver)
+	}
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ver, base, deltas, nil
+}
+
+func inspect(paths []string, out, errw io.Writer) int {
+	if len(paths) == 0 {
+		return usage(errw)
+	}
+	code := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+			code = 1
+			continue
+		}
+		ver, base, deltas, err := decodeAny(path, data)
+		if err != nil {
+			fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+			code = 1
+			continue
+		}
+		fp := fingerprintOf(base, deltas)
+		fmt.Fprintf(out, "%s: version %d, fingerprint %#016x, %d bytes\n", path, ver, fp, len(data))
+		if base != nil {
+			entries, bytes := snapshotStats(base)
+			fmt.Fprintf(out, "  base: %d sections, %d entries, ~%d payload bytes (IKT inserts=%d defers=%d rejected=%d)\n",
+				len(base.Types), entries, bytes, base.IKT.Inserts, base.IKT.Defers, base.IKT.Rejected)
+			for i := range base.Types {
+				sec := &base.Types[i]
+				phase := "training"
+				if sec.Steady {
+					phase = "steady"
+				}
+				fmt.Fprintf(out, "    type %-24q %s level=%d successes=%d excluded=%d entries=%d\n",
+					sec.Name, phase, sec.Level, sec.Successes, sec.Excluded, len(sec.Entries))
+			}
+		}
+		for i, d := range deltas {
+			types, metas, entries := d.Stats()
+			fmt.Fprintf(out, "  delta %d: %d types (%d with metadata), %d entries\n", i+1, types, metas, entries)
+		}
+	}
+	return code
+}
+
+func fingerprintOf(base *core.Snapshot, deltas []*core.Delta) uint64 {
+	if base != nil {
+		return base.Fingerprint
+	}
+	if len(deltas) > 0 {
+		return deltas[0].Fingerprint
+	}
+	return 0
+}
+
+func snapshotStats(s *core.Snapshot) (entries int, payload int64) {
+	for i := range s.Types {
+		entries += len(s.Types[i].Entries)
+		for j := range s.Types[i].Entries {
+			e := &s.Types[i].Entries[j]
+			for _, r := range e.Outs {
+				payload += int64(r.NumBytes())
+			}
+			for _, r := range e.Ins {
+				payload += int64(r.NumBytes())
+			}
+		}
+	}
+	return entries, payload
+}
+
+func verify(paths []string, out, errw io.Writer) int {
+	if len(paths) == 0 {
+		return usage(errw)
+	}
+	code := 0
+	for _, path := range paths {
+		base, deltas, err := loadFile(path)
+		if err != nil {
+			fmt.Fprintf(errw, "snapshotctl: FAIL %v\n", err)
+			code = 1
+			continue
+		}
+		entries := 0
+		if base != nil {
+			entries, _ = snapshotStats(base)
+		}
+		for _, d := range deltas {
+			entries += len(d.Entries)
+		}
+		fmt.Fprintf(out, "%s: OK (%d deltas, %d entries)\n", path, len(deltas), entries)
+	}
+	return code
+}
+
+// fold implements compact (merge == false: one chain across the input
+// files, in order) and merge (every input is an independent shard,
+// compacted then merged).
+func fold(args []string, out, errw io.Writer, merge bool) int {
+	name := "compact"
+	if merge {
+		name = "merge"
+	}
+	fs := flag.NewFlagSet("snapshotctl "+name, flag.ContinueOnError)
+	fs.SetOutput(errw)
+	outPath := fs.String("o", "", "output snapshot file (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
+	if *outPath == "" || len(paths) == 0 {
+		fmt.Fprintf(errw, "usage: snapshotctl %s -o out <file>...\n", name)
+		return 2
+	}
+
+	var full *core.Snapshot
+	if merge {
+		shards := make([]*core.Snapshot, 0, len(paths))
+		for _, path := range paths {
+			base, deltas, err := loadFile(path)
+			if err != nil {
+				fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+				return 1
+			}
+			if base == nil {
+				// merge treats every input as an independent shard; a
+				// delta-only continuation file belongs to some shard's
+				// chain and must be folded with its base first.
+				fmt.Fprintf(errw, "snapshotctl: %s: delta-only file — merge inputs are independent shards; run `snapshotctl compact -o shard.full <base-chain> %s` first\n", path, path)
+				return 1
+			}
+			shard, err := persist.Compact(base, deltas...)
+			if err != nil {
+				fmt.Fprintf(errw, "snapshotctl: %s: %v\n", path, err)
+				return 1
+			}
+			shards = append(shards, shard)
+		}
+		var err error
+		full, err = persist.MergeSnapshots(shards...)
+		if err != nil {
+			fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+			return 1
+		}
+	} else {
+		var base *core.Snapshot
+		var chain []*core.Delta
+		for i, path := range paths {
+			b, deltas, err := loadFile(path)
+			if err != nil {
+				fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+				return 1
+			}
+			switch {
+			case i == 0 && b == nil:
+				fmt.Fprintf(errw, "snapshotctl: %s: the first chain file must carry the base record\n", path)
+				return 1
+			case i > 0 && b != nil:
+				fmt.Fprintf(errw, "snapshotctl: %s: continuation files must be delta-only (found a second base)\n", path)
+				return 1
+			case i == 0:
+				base = b
+			}
+			chain = append(chain, deltas...)
+		}
+		var err error
+		full, err = persist.Compact(base, chain...)
+		if err != nil {
+			fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+			return 1
+		}
+	}
+
+	if err := persist.SaveChain(*outPath, full, nil); err != nil {
+		fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+		return 1
+	}
+	entries, _ := snapshotStats(full)
+	fmt.Fprintf(out, "%s: %d input file(s) -> %d sections, %d entries\n", *outPath, len(paths), len(full.Types), entries)
+	return 0
+}

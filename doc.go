@@ -33,7 +33,13 @@
 //     core.Restore warm-starts a fresh engine from it — repeated
 //     experiment sweeps pay the training phase once instead of per
 //     process (docs/persistence.md; atmbench -save/-load and the
-//     `sweep` experiment drive it).
+//     `sweep` experiment drive it). Incremental chains (format v2)
+//     make saves O(churn): core.(*ATM).SnapshotDelta() extracts only
+//     the state changed since the previous save, persist
+//     AppendDelta/Compact/MergeSnapshots fold and combine chains, and
+//     cmd/snapshotctl operates on the files (inspect, verify, compact,
+//     merge — the sharded-sweep merge workflow; atmbench -chain and
+//     the `shardsweep` experiment drive it end to end).
 //   - internal/region, internal/sampling, internal/jenkins,
 //     internal/metrics, internal/trace — the supporting substrates.
 //   - internal/apps/... — the six evaluated benchmarks of Table I.

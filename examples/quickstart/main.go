@@ -121,4 +121,55 @@ func main() {
 	fmt.Printf("warm start: %v  (%.1fx speedup; %.0f%% reuse from the first task, %d entries restored from %s)\n",
 		warm.Round(time.Microsecond), float64(base)/float64(warm),
 		100*ws.TotalReuse(), restored.RestoredEntries(), snapPath)
+
+	// Incremental saves: a long-lived service does not rewrite the whole
+	// table per save. With delta tracking enabled, SnapshotDelta extracts
+	// only the churn since the previous save and AppendDelta adds it to a
+	// chain file in O(delta) I/O; restore replays base + deltas (or use
+	// `snapshotctl compact` to fold the chain back into one base). An
+	// all-hit rerun appends a ~17-byte empty record — the saving is the
+	// point (docs/persistence.md).
+	chainPath := filepath.Join(os.TempDir(), "quickstart.atmchain")
+	tracked, err := core.Restore(core.Config{Mode: core.ModeStatic}, loadedForChain(snapPath))
+	if err != nil {
+		fmt.Println("restore:", err)
+		return
+	}
+	tracked.EnableDeltaTracking()
+	chainBase, err := tracked.Snapshot() // the chain's base: the restored warm state
+	if err != nil {
+		fmt.Println("snapshot:", err)
+		return
+	}
+	if err := persist.SaveChain(chainPath, chainBase, nil); err != nil {
+		fmt.Println("save chain:", err)
+		return
+	}
+	workload(tracked) // warm: nothing new to learn
+	delta, err := tracked.SnapshotDelta()
+	if err != nil {
+		fmt.Println("delta:", err)
+		return
+	}
+	if err := persist.AppendDelta(chainPath, delta); err != nil {
+		fmt.Println("append:", err)
+		return
+	}
+	types, _, entries := delta.Stats()
+	var total int64
+	if fi, err := os.Stat(chainPath); err == nil {
+		total = fi.Size()
+	}
+	fmt.Printf("delta save: %d new types, %d new entries appended to %s (%d bytes total)\n",
+		types, entries, chainPath, total)
+}
+
+// loadedForChain re-reads the whole-table snapshot for the chain demo
+// (each Restore consumes its snapshot).
+func loadedForChain(path string) *core.Snapshot {
+	s, err := persist.Load(path)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }

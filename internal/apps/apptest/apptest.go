@@ -128,6 +128,102 @@ func CheckWarmStart(t *testing.T, f apps.Factory) {
 	}
 }
 
+// CheckWarmStartDeltaChain is CheckWarmStart for the incremental
+// persistence path: the app runs cold on a delta-tracked engine whose
+// churn is captured as a chain (empty base + per-phase delta records,
+// pushed through the v2 codec like a save/append/load cycle), the
+// chain is compacted into a single full snapshot, and the app runs
+// again on an engine restored from the compaction. The warm pass must
+// serve immediate THT hits and produce outputs bit-identical both to
+// the cold run and to a warm start from the classic whole-table
+// snapshot — the delta path must not be able to diverge from the full
+// path. It also pins the sublinear-save property: the all-hit second
+// phase appends a (near-)empty delta.
+func CheckWarmStartDeltaChain(t *testing.T, f apps.Factory) {
+	t.Helper()
+	cfg := core.Config{Mode: core.ModeStatic}
+	memo := core.New(cfg)
+	memo.EnableDeltaTracking()
+	base, err := memo.Snapshot() // the chain's empty base
+	if err != nil {
+		t.Fatalf("base snapshot: %v", err)
+	}
+	cold := f(apps.ScaleTest)
+	rt := taskrt.New(taskrt.Config{Workers: 4, Memoizer: memo})
+	cold.Run(rt)
+	rt.Close()
+	d1, err := memo.SnapshotDelta()
+	if err != nil {
+		t.Fatalf("first delta: %v", err)
+	}
+	// A second, fully warm pass on the same engine: its delta must be
+	// (near-)empty — the sublinear property deltas exist for.
+	again := f(apps.ScaleTest)
+	rt2 := taskrt.New(taskrt.Config{Workers: 4, Memoizer: memo})
+	again.Run(rt2)
+	rt2.Close()
+	d2, err := memo.SnapshotDelta()
+	if err != nil {
+		t.Fatalf("second delta: %v", err)
+	}
+	if len(d2.Entries) >= len(d1.Entries) && len(d1.Entries) > 0 {
+		t.Fatalf("warm-phase delta (%d entries) must stay below the cold phase's (%d)", len(d2.Entries), len(d1.Entries))
+	}
+	full, err := memo.Snapshot() // the whole-table path, for comparison
+	if err != nil {
+		t.Fatalf("full snapshot: %v", err)
+	}
+
+	// Round-trip the chain through the v2 codec, then compact it.
+	data, err := persist.MarshalChain(base, []*core.Delta{d1, d2})
+	if err != nil {
+		t.Fatalf("marshal chain: %v", err)
+	}
+	decBase, decDeltas, err := persist.UnmarshalChain(data)
+	if err != nil {
+		t.Fatalf("unmarshal chain: %v", err)
+	}
+	compacted, err := persist.Compact(decBase, decDeltas...)
+	if err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+
+	runRestored := func(snap *core.Snapshot) (apps.App, *core.ATM) {
+		t.Helper()
+		engine, err := core.Restore(cfg, snap)
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		app := f(apps.ScaleTest)
+		rt := taskrt.New(taskrt.Config{Workers: 4, Memoizer: engine})
+		app.Run(rt)
+		rt.Close()
+		return app, engine
+	}
+	viaChain, chainEngine := runRestored(compacted)
+	viaFull, _ := runRestored(full)
+
+	ra := cold.Result()
+	for i := range ra {
+		if !viaChain.Result()[i].EqualContents(ra[i]) {
+			t.Fatalf("delta-chain warm start diverges from the cold run on region %d", i)
+		}
+		if !viaChain.Result()[i].EqualContents(viaFull.Result()[i]) {
+			t.Fatalf("delta-chain warm start diverges from the whole-table warm start on region %d", i)
+		}
+	}
+	var memoTHT int64
+	for _, ts := range chainEngine.Stats().Types {
+		memoTHT += ts.MemoizedTHT
+	}
+	if memoTHT == 0 {
+		t.Fatal("delta-chain warm pass must serve THT hits from the restored chain")
+	}
+	if chainEngine.RestoredEntries() == 0 {
+		t.Fatal("compacted chain must have installed entries on restore")
+	}
+}
+
 // CheckDynamicBounded verifies dynamic ATM stays above the correctness
 // floor and that its accounting is consistent.
 func CheckDynamicBounded(t *testing.T, f apps.Factory, floor float64) {

@@ -8,10 +8,11 @@ import (
 	"atm/internal/apps/apptest"
 )
 
-func TestDeterministic(t *testing.T)  { apptest.CheckDeterministic(t, Factory) }
-func TestStaticExact(t *testing.T)    { apptest.CheckStaticExact(t, Factory) }
-func TestDynamicBounded(t *testing.T) { apptest.CheckDynamicBounded(t, Factory, 95) }
-func TestWarmStart(t *testing.T)      { apptest.CheckWarmStart(t, Factory) }
+func TestDeterministic(t *testing.T)       { apptest.CheckDeterministic(t, Factory) }
+func TestStaticExact(t *testing.T)         { apptest.CheckStaticExact(t, Factory) }
+func TestDynamicBounded(t *testing.T)      { apptest.CheckDynamicBounded(t, Factory, 95) }
+func TestWarmStart(t *testing.T)           { apptest.CheckWarmStart(t, Factory) }
+func TestWarmStartDeltaChain(t *testing.T) { apptest.CheckWarmStartDeltaChain(t, Factory) }
 
 func TestPriceBlockSanity(t *testing.T) {
 	// A deep in-the-money call with negligible volatility is worth about

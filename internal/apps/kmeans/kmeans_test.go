@@ -8,9 +8,10 @@ import (
 	"atm/internal/apps/apptest"
 )
 
-func TestDeterministic(t *testing.T) { apptest.CheckDeterministic(t, Factory) }
-func TestStaticExact(t *testing.T)   { apptest.CheckStaticExact(t, Factory) }
-func TestWarmStart(t *testing.T)     { apptest.CheckWarmStart(t, Factory) }
+func TestDeterministic(t *testing.T)       { apptest.CheckDeterministic(t, Factory) }
+func TestStaticExact(t *testing.T)         { apptest.CheckStaticExact(t, Factory) }
+func TestWarmStart(t *testing.T)           { apptest.CheckWarmStart(t, Factory) }
+func TestWarmStartDeltaChain(t *testing.T) { apptest.CheckWarmStartDeltaChain(t, Factory) }
 
 func TestDynamicBounded(t *testing.T) {
 	// Table II gives Kmeans τmax = 20%; the paper reports 98.8% final

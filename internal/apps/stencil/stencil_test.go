@@ -16,10 +16,14 @@ func TestJacobiDeterministic(t *testing.T) {
 	apptest.CheckDeterministic(t, Factory(Jacobi))
 }
 
-func TestGSStaticExact(t *testing.T)  { apptest.CheckStaticExact(t, Factory(GaussSeidel)) }
-func TestGSWarmStart(t *testing.T)    { apptest.CheckWarmStart(t, Factory(GaussSeidel)) }
-func TestJacWarmStart(t *testing.T)   { apptest.CheckWarmStart(t, Factory(Jacobi)) }
-func TestJacStaticExact(t *testing.T) { apptest.CheckStaticExact(t, Factory(Jacobi)) }
+func TestGSStaticExact(t *testing.T) { apptest.CheckStaticExact(t, Factory(GaussSeidel)) }
+func TestGSWarmStart(t *testing.T)   { apptest.CheckWarmStart(t, Factory(GaussSeidel)) }
+func TestGSWarmStartDeltaChain(t *testing.T) {
+	apptest.CheckWarmStartDeltaChain(t, Factory(GaussSeidel))
+}
+func TestJacWarmStart(t *testing.T)           { apptest.CheckWarmStart(t, Factory(Jacobi)) }
+func TestJacWarmStartDeltaChain(t *testing.T) { apptest.CheckWarmStartDeltaChain(t, Factory(Jacobi)) }
+func TestJacStaticExact(t *testing.T)         { apptest.CheckStaticExact(t, Factory(Jacobi)) }
 
 func TestGSDynamicBounded(t *testing.T) {
 	apptest.CheckDynamicBounded(t, Factory(GaussSeidel), 90)

@@ -173,6 +173,12 @@ type typeState struct {
 
 	mu        sync.Mutex
 	successes int // consecutive correct approximations at this level
+	// dirtyEpoch is the save epoch (ATM.saveEpoch) of the last
+	// phase/level/successes/exclusion mutation, stamped under mu; a
+	// delta save carries the type's metadata when dirtyEpoch exceeds
+	// the last saved epoch. Zero means the state matches what the
+	// restored snapshot recorded.
+	dirtyEpoch uint64
 	// failCount counts, per output region, training approximations whose
 	// τ reached τmax. Every failure doubles p (§III-D); a region that
 	// keeps failing across levels is "potentially related to chaotic
@@ -250,6 +256,17 @@ type ATM struct {
 	pending  map[string]*TypeSnapshot
 	restored atomic.Int64 // THT entries installed from a snapshot
 
+	// Incremental-snapshot state (delta.go). saveEpoch is the epoch new
+	// state is stamped with; it starts at 1 and each save seals the
+	// current epoch by bumping it. savedThrough (guarded by snapMu) is
+	// the highest sealed epoch, so state with a stamp above it is
+	// unsaved. tracking reports EnableDeltaTracking was called (the THT
+	// insert log is on).
+	saveEpoch    atomic.Uint64
+	snapMu       sync.Mutex
+	savedThrough uint64
+	tracking     bool
+
 	workers []workerState
 }
 
@@ -268,11 +285,13 @@ var (
 // binds itself on construction.
 func New(cfg Config) *ATM {
 	cfg.applyDefaults()
-	return &ATM{
+	a := &ATM{
 		cfg:   cfg,
 		tht:   NewTHT(cfg.NBits, cfg.M),
 		names: make(map[int]string),
 	}
+	a.saveEpoch.Store(1)
+	return a
 }
 
 // BindRuntime implements taskrt.RuntimeBinder.
@@ -366,7 +385,16 @@ func (a *ATM) stateSlow(tt *taskrt.TaskType) *typeState {
 	}
 	if sec, ok := a.pending[tt.Name()]; ok {
 		delete(a.pending, tt.Name())
-		a.installSection(id, ts, sec)
+		if !a.installSection(id, ts, sec) {
+			// The installed metadata differs from what the snapshot
+			// recorded (level clamped, or an excluded steady type demoted
+			// to training): the next delta must re-record it.
+			ts.dirtyEpoch = a.saveEpoch.Load()
+		}
+	} else {
+		// A type the previous save never saw: its metadata is unsaved by
+		// definition.
+		ts.dirtyEpoch = a.saveEpoch.Load()
 	}
 	grown := make([]*typeState, max(id+1, len(cur)))
 	copy(grown, cur)
@@ -565,6 +593,7 @@ func (a *ATM) snapshotEntry(t *taskrt.Task, key uint64, level int8, insSnap []re
 	e.Key = key
 	e.Level = level
 	e.ProviderID = t.ID()
+	e.Epoch = a.saveEpoch.Load() // diagnostic stamp; the insert log drives delta selection
 	e.Ins = insSnap
 	return e
 }
@@ -761,6 +790,7 @@ func (a *ATM) grade(t *taskrt.Task, ts *typeState, sh *typeShard, sc *scratch) {
 		return
 	}
 	sh.trainHits.Add(1)
+	ts.dirtyEpoch = a.saveEpoch.Load() // every branch below mutates the metadata
 	if tau >= tauMax {
 		sh.trainFailures.Add(1)
 		alreadyChaotic := true

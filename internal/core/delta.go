@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements incremental (delta) snapshots, the persistence
+// half of ROADMAP's "Snapshot compaction/merge": a long-lived service
+// or a sharded sweep should not re-serialize the whole Task History
+// Table on every save. With delta tracking enabled, the engine stamps
+// every mutation with a save epoch (Entry.Epoch, typeState.dirtyEpoch)
+// and keeps an ordered THT insert log; SnapshotDelta quiesces through
+// the runtime's completion fence and extracts only the state changed
+// since the previous save. The restore side chains deltas onto a full
+// base snapshot with ApplyDelta; package persist serializes the chain
+// (v2 record-stream format) and provides Compact/MergeSnapshots.
+
+// Typed delta errors; test with errors.Is.
+var (
+	// ErrNotTracking is returned by SnapshotDelta when
+	// EnableDeltaTracking was never called: without the insert log
+	// there is nothing sound to extract.
+	ErrNotTracking = errors.New("core: delta snapshot without EnableDeltaTracking")
+	// ErrDeltaLive is returned by ApplyDelta when a referenced task
+	// type has already registered in this engine: its section was
+	// installed at registration, so a late delta could no longer be
+	// merged into it. Chain deltas immediately after Restore, before
+	// the engine runs tasks.
+	ErrDeltaLive = errors.New("core: ApplyDelta after the named task type registered")
+)
+
+// Delta is the serializable difference between two saves of one
+// engine: the per-type metadata that changed plus every THT insert
+// performed since the previous save, in insert order. Like Snapshot,
+// its regions are deep copies on the SnapshotDelta side and are
+// adopted on the ApplyDelta side — do not reuse a Delta after applying
+// it.
+type Delta struct {
+	// Fingerprint identifies the Config (see Fingerprint); it must
+	// match the base snapshot's.
+	Fingerprint uint64
+	// Types is the delta's type table, in capture order. Entries
+	// reference their type by index into it. A TypeDelta with HasMeta
+	// carries changed adaptive metadata; without it the type appears
+	// only because Entries references it.
+	Types []TypeDelta
+	// Entries are the THT inserts since the previous save, preserving
+	// per-bucket insert order (the order replay needs to rebuild the
+	// same FIFO ring state).
+	Entries []DeltaEntry
+}
+
+// TypeDelta is one task type's row in a delta's type table.
+type TypeDelta struct {
+	Name string
+	// HasMeta marks a metadata update; the fields below are only
+	// meaningful (and only serialized non-zero) when it is set.
+	HasMeta   bool
+	Steady    bool
+	Level     int
+	Successes int
+	Excluded  int
+}
+
+// DeltaEntry is one logged THT insert: Type indexes Delta.Types.
+type DeltaEntry struct {
+	Type int
+	EntrySnapshot
+}
+
+// EnableDeltaTracking switches the engine into incremental-snapshot
+// mode: THT inserts are logged (retained, not copied — the clone cost
+// is paid at save time, proportional to the delta, not to the table)
+// and metadata mutations are epoch-stamped. Call it before the engine
+// runs tasks; idempotent. Tracking costs one atomic load per insert
+// when saves are rare, plus the log's retained entries between saves.
+func (a *ATM) EnableDeltaTracking() {
+	a.snapMu.Lock()
+	defer a.snapMu.Unlock()
+	if a.tracking {
+		return
+	}
+	a.tracking = true
+	a.tht.SetLogging(true)
+}
+
+// DisableDeltaTracking turns incremental-snapshot mode back off and
+// releases every entry the insert log retains. Callers that stop
+// saving (e.g. after a persistent save error) should disable tracking
+// too, so the log stops pinning evicted entries' buffers for a drain
+// that will never come.
+func (a *ATM) DisableDeltaTracking() {
+	a.snapMu.Lock()
+	defer a.snapMu.Unlock()
+	if !a.tracking {
+		return
+	}
+	a.tracking = false
+	a.tht.SetLogging(false)
+}
+
+// DeltaTracking reports whether EnableDeltaTracking was called.
+func (a *ATM) DeltaTracking() bool {
+	a.snapMu.Lock()
+	defer a.snapMu.Unlock()
+	return a.tracking
+}
+
+// SnapshotDelta extracts the state changed since the previous save
+// (SnapshotDelta or Snapshot) and seals the current save epoch. It
+// quiesces through the runtime's completion fence like Snapshot, so
+// every in-flight task has published its THT insert before the log is
+// drained. Concurrent traffic submitted after the fence is simply
+// carried by the next delta: the insert log partitions inserts exactly
+// across saves, and a metadata mutation racing the save re-stamps the
+// new epoch, so nothing is lost or saved twice. For a chain that is
+// complete at a given instant, take the final delta after traffic
+// stops (the harness does).
+func (a *ATM) SnapshotDelta() (*Delta, error) {
+	if a.rt != nil {
+		a.rt.Wait()
+	}
+	a.snapMu.Lock()
+	defer a.snapMu.Unlock()
+	if !a.tracking {
+		return nil, ErrNotTracking
+	}
+	// Seal the current epoch first: a metadata mutation that runs after
+	// this bump stamps the new epoch and is picked up by the next save
+	// even if this scan misses it (the stamp happens under ts.mu, which
+	// the scan below also takes).
+	cur := a.saveEpoch.Add(1) - 1
+	d := &Delta{Fingerprint: Fingerprint(a.cfg)}
+
+	a.typeMu.Lock()
+	var states []*typeState
+	if sl := a.typeStates.Load(); sl != nil {
+		states = *sl
+	}
+	names := make(map[int]string, len(a.names))
+	for id, name := range a.names {
+		names[id] = name
+	}
+	a.typeMu.Unlock()
+
+	idx := make(map[string]int)
+	seen := make(map[string]bool, len(states))
+	for id, ts := range states {
+		if ts == nil {
+			continue
+		}
+		name := names[id]
+		if seen[name] {
+			// Same policy as Snapshot: name-keyed sections cannot carry a
+			// collision; fail at save time, where it is diagnosable.
+			return nil, fmt.Errorf("core: two task types named %q: snapshot sections are keyed by type name", name)
+		}
+		seen[name] = true
+		ts.mu.Lock()
+		dirty := ts.dirtyEpoch > a.savedThrough
+		ph, level := ts.load()
+		succ := ts.successes
+		excl := len(ts.excluded)
+		ts.mu.Unlock()
+		if !dirty {
+			continue
+		}
+		idx[name] = len(d.Types)
+		d.Types = append(d.Types, TypeDelta{
+			Name:      name,
+			HasMeta:   true,
+			Steady:    ph == phaseSteady,
+			Level:     level,
+			Successes: succ,
+			Excluded:  excl,
+		})
+	}
+
+	// Drain the insert log after the metadata scan: an insert landing
+	// between the two is saved now and its (possibly newer) metadata by
+	// the next save — never the reverse, so a restored chain cannot hold
+	// metadata for entries it does not have.
+	log := a.tht.DrainLog()
+	// Refresh the id→name view AFTER the drain: a type that registered
+	// since the scan above may already have logged inserts, and resolving
+	// them against the stale copy would drop them from every delta (the
+	// log is already drained). The registry is append-only, so the
+	// refreshed map is a superset of the one the scan used; such a
+	// type's entries ship in this delta under a meta-less row and its
+	// metadata follows with the next save, per the invariant above.
+	a.typeMu.Lock()
+	for id, name := range a.names {
+		names[id] = name
+	}
+	a.typeMu.Unlock()
+	for _, e := range log {
+		name, ok := names[e.TypeID]
+		if !ok {
+			// An insert from a type absent from the refreshed registry
+			// cannot happen through the engine; guard anyway.
+			e.Release()
+			continue
+		}
+		ti, ok := idx[name]
+		if !ok {
+			ti = len(d.Types)
+			idx[name] = ti
+			d.Types = append(d.Types, TypeDelta{Name: name})
+		}
+		d.Entries = append(d.Entries, DeltaEntry{Type: ti, EntrySnapshot: EntrySnapshot{
+			Key:      e.Key,
+			Level:    e.Level,
+			Provider: e.ProviderID,
+			Outs:     cloneRegions(e.Outs),
+			Ins:      cloneRegions(e.Ins),
+		}})
+		e.Release()
+	}
+	a.savedThrough = cur
+	return d, nil
+}
+
+// ApplyDelta chains a delta onto a restored engine: metadata updates
+// replace the pending sections' metadata and logged inserts append to
+// their entry lists, so when a type registers, installSection replays
+// base entries followed by delta entries in original insert order.
+// Call it on a freshly Restored engine, before the referenced types
+// register (ErrDeltaLive otherwise); apply deltas in chain order. The
+// engine adopts the delta's regions — do not reuse the delta.
+func (a *ATM) ApplyDelta(d *Delta) error {
+	if want := Fingerprint(a.cfg); d.Fingerprint != want {
+		return fmt.Errorf("%w: delta %#016x, config %#016x", ErrSnapshotConfig, d.Fingerprint, want)
+	}
+	a.typeMu.Lock()
+	defer a.typeMu.Unlock()
+	registered := make(map[string]bool, len(a.names))
+	for _, name := range a.names {
+		registered[name] = true
+	}
+	// Validate everything before mutating anything: a rejected delta
+	// must leave the pending sections untouched, not half-applied.
+	seen := make(map[string]bool, len(d.Types))
+	for _, td := range d.Types {
+		if seen[td.Name] {
+			return fmt.Errorf("core: duplicate delta section for type %q", td.Name)
+		}
+		seen[td.Name] = true
+		if registered[td.Name] {
+			return fmt.Errorf("%w: type %q", ErrDeltaLive, td.Name)
+		}
+	}
+	for i := range d.Entries {
+		if t := d.Entries[i].Type; t < 0 || t >= len(d.Types) {
+			return fmt.Errorf("core: delta entry %d references type %d of %d", i, t, len(d.Types))
+		}
+	}
+	if a.pending == nil {
+		a.pending = make(map[string]*TypeSnapshot, len(d.Types))
+	}
+	for _, td := range d.Types {
+		sec := a.pending[td.Name]
+		if sec == nil {
+			sec = &TypeSnapshot{Name: td.Name}
+			a.pending[td.Name] = sec
+		}
+		if td.HasMeta {
+			sec.Steady = td.Steady
+			sec.Level = td.Level
+			sec.Successes = td.Successes
+			sec.Excluded = td.Excluded
+		}
+	}
+	for i := range d.Entries {
+		de := &d.Entries[i]
+		sec := a.pending[d.Types[de.Type].Name]
+		sec.Entries = append(sec.Entries, de.EntrySnapshot)
+	}
+	return nil
+}
+
+// DeltaStats summarizes a delta for reports and the snapshotctl
+// inspect subcommand.
+func (d *Delta) Stats() (types, metas, entries int) {
+	for _, td := range d.Types {
+		if td.HasMeta {
+			metas++
+		}
+	}
+	return len(d.Types), metas, len(d.Entries)
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"atm/internal/region"
+	"atm/internal/taskrt"
+)
+
+// runDistinct submits n distinct doubler tasks with input values
+// [from, from+n) and waits for them.
+func runDistinct(rt *taskrt.Runtime, tt *taskrt.TaskType, from, n int) []*region.Float64 {
+	outs := make([]*region.Float64, n)
+	for i := range outs {
+		outs[i] = region.NewFloat64(16)
+		rt.Submit(tt, taskrt.In(mkInput(from+i)), taskrt.Out(outs[i]))
+	}
+	rt.Wait()
+	return outs
+}
+
+func TestSnapshotDeltaRequiresTracking(t *testing.T) {
+	memo := New(Config{Mode: ModeStatic})
+	if _, err := memo.SnapshotDelta(); !errors.Is(err, ErrNotTracking) {
+		t.Fatalf("want ErrNotTracking, got %v", err)
+	}
+	memo.EnableDeltaTracking()
+	if !memo.DeltaTracking() {
+		t.Fatal("tracking must report enabled")
+	}
+	if _, err := memo.SnapshotDelta(); err != nil {
+		t.Fatalf("tracked delta: %v", err)
+	}
+}
+
+func TestSnapshotDeltaCapturesOnlyNewState(t *testing.T) {
+	memo := New(Config{Mode: ModeStatic})
+	memo.EnableDeltaTracking()
+	rt := taskrt.New(taskrt.Config{Workers: 2, Memoizer: memo})
+	defer rt.Close()
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, Run: doubler})
+
+	runDistinct(rt, tt, 0, 4)
+	d1, err := memo.SnapshotDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Entries) != 4 {
+		t.Fatalf("first delta entries: %d", len(d1.Entries))
+	}
+	if len(d1.Types) != 1 || !d1.Types[0].HasMeta || !d1.Types[0].Steady {
+		t.Fatalf("first delta must carry the fresh type's metadata: %+v", d1.Types)
+	}
+
+	// Four more distinct tasks: the second delta carries exactly them,
+	// and the type reappears only as an entry target — its metadata did
+	// not change since the save that recorded it.
+	runDistinct(rt, tt, 4, 4)
+	d2, err := memo.SnapshotDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Entries) != 4 {
+		t.Fatalf("second delta entries: %d", len(d2.Entries))
+	}
+	if len(d2.Types) != 1 || d2.Types[0].HasMeta {
+		t.Fatalf("unchanged metadata must not be re-saved: %+v", d2.Types)
+	}
+
+	// Epoch stamps partition the inserts across the two saves.
+	epochs := map[uint64]int{}
+	memo.THT().forEach(func(e *Entry) { epochs[e.Epoch]++ })
+	if epochs[1] != 4 || epochs[2] != 4 {
+		t.Fatalf("epoch partition: %v", epochs)
+	}
+
+	// Nothing happened since: the third delta is empty.
+	d3, err := memo.SnapshotDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d3.Types) != 0 || len(d3.Entries) != 0 {
+		t.Fatalf("idle delta must be empty: %+v", d3)
+	}
+}
+
+func TestFullSnapshotSupersedesDeltaState(t *testing.T) {
+	memo := New(Config{Mode: ModeStatic})
+	memo.EnableDeltaTracking()
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+	defer rt.Close()
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, Run: doubler})
+	runDistinct(rt, tt, 0, 3)
+	if _, err := memo.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := memo.SnapshotDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Types) != 0 || len(d.Entries) != 0 {
+		t.Fatalf("delta after a full save must be empty: %d types, %d entries", len(d.Types), len(d.Entries))
+	}
+}
+
+func TestDeltaChainRestoreMatchesFullSnapshot(t *testing.T) {
+	cfg := Config{Mode: ModeStatic}
+	memo := New(cfg)
+	memo.EnableDeltaTracking()
+	base, err := memo.Snapshot() // empty chain base, taken before any traffic
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := taskrt.New(taskrt.Config{Workers: 2, Memoizer: memo})
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, Run: doubler})
+	coldOuts := runDistinct(rt, tt, 0, 4)
+	d1, err := memo.SnapshotDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOuts = append(coldOuts, runDistinct(rt, tt, 4, 4)...)
+	d2, err := memo.SnapshotDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := memo.Snapshot() // the whole-table path, for comparison
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+
+	restoreAndRun := func(build func() (*ATM, error)) []*region.Float64 {
+		t.Helper()
+		warm, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := taskrt.New(taskrt.Config{Workers: 2, Memoizer: warm})
+		defer rt.Close()
+		executed := 0
+		tt := rt.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, Run: func(task *taskrt.Task) {
+			executed++
+			doubler(task)
+		}})
+		outs := runDistinct(rt, tt, 0, 8)
+		if executed != 0 {
+			t.Fatalf("warm run executed %d bodies", executed)
+		}
+		if warm.RestoredEntries() != 8 {
+			t.Fatalf("restored entries: %d", warm.RestoredEntries())
+		}
+		return outs
+	}
+
+	viaChain := restoreAndRun(func() (*ATM, error) {
+		warm, err := Restore(cfg, base)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range []*Delta{d1, d2} {
+			if err := warm.ApplyDelta(d); err != nil {
+				return nil, err
+			}
+		}
+		return warm, nil
+	})
+	viaFull := restoreAndRun(func() (*ATM, error) { return Restore(cfg, full) })
+
+	for i := range coldOuts {
+		if !viaChain[i].EqualContents(coldOuts[i]) {
+			t.Fatalf("chain-restored output %d diverges from the cold run", i)
+		}
+		if !viaFull[i].EqualContents(coldOuts[i]) {
+			t.Fatalf("full-restored output %d diverges from the cold run", i)
+		}
+	}
+}
+
+func TestWarmRunSavesEmptyDelta(t *testing.T) {
+	// The sublinear guarantee: a warm repetition that adds nothing new
+	// must save a (near-)empty delta — restored entries bypass the
+	// insert log and verbatim-installed metadata stays clean.
+	cfg := Config{Mode: ModeStatic}
+	cold := New(cfg)
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: cold})
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, Run: doubler})
+	runDistinct(rt, tt, 0, 6)
+	snap, err := cold.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+
+	warm, err := Restore(cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.EnableDeltaTracking()
+	rt2 := taskrt.New(taskrt.Config{Workers: 1, Memoizer: warm})
+	defer rt2.Close()
+	tt2 := rt2.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, Run: doubler})
+	runDistinct(rt2, tt2, 0, 6) // all hits
+	d, err := warm.SnapshotDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Types) != 0 || len(d.Entries) != 0 {
+		t.Fatalf("all-hit warm run must save an empty delta: %d types, %d entries", len(d.Types), len(d.Entries))
+	}
+}
+
+func TestApplyDeltaRejectsLiveType(t *testing.T) {
+	cfg := Config{Mode: ModeStatic}
+	memo := New(cfg)
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+	defer rt.Close()
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, Run: doubler})
+	// The type goes live (claims its state, consuming any pending
+	// section) when its first task runs; only then is a late delta
+	// unmergeable.
+	rt.Submit(tt, taskrt.In(mkInput(1)), taskrt.Out(region.NewFloat64(16)))
+	rt.Wait()
+	d := &Delta{Fingerprint: Fingerprint(cfg), Types: []TypeDelta{{Name: "double", HasMeta: true, Steady: true, Level: 15}}}
+	if err := memo.ApplyDelta(d); !errors.Is(err, ErrDeltaLive) {
+		t.Fatalf("want ErrDeltaLive, got %v", err)
+	}
+	// A delta for a type this engine never registered still applies.
+	d2 := &Delta{Fingerprint: Fingerprint(cfg), Types: []TypeDelta{{Name: "other", HasMeta: true, Steady: true, Level: 15}}}
+	if err := memo.ApplyDelta(d2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDeltaRejectsFingerprintMismatch(t *testing.T) {
+	memo := New(Config{Mode: ModeStatic, Seed: 1})
+	d := &Delta{Fingerprint: Fingerprint(Config{Mode: ModeStatic, Seed: 2})}
+	if err := memo.ApplyDelta(d); !errors.Is(err, ErrSnapshotConfig) {
+		t.Fatalf("want ErrSnapshotConfig, got %v", err)
+	}
+}
+
+func TestApplyDeltaRejectsBadTypeIndex(t *testing.T) {
+	cfg := Config{Mode: ModeStatic}
+	memo := New(cfg)
+	d := &Delta{
+		Fingerprint: Fingerprint(cfg),
+		Types:       []TypeDelta{{Name: "double"}},
+		Entries:     []DeltaEntry{{Type: 3}},
+	}
+	if err := memo.ApplyDelta(d); err == nil {
+		t.Fatal("out-of-range entry type index must be rejected")
+	}
+}
+
+func TestDynamicTrainingProgressDirtiesMetadata(t *testing.T) {
+	memo := New(Config{Mode: ModeDynamic})
+	memo.EnableDeltaTracking()
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+	defer rt.Close()
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, TauMax: 0.01, LTraining: 100, Run: doubler})
+	in := mkInput(1)
+	rt.Submit(tt, taskrt.In(in), taskrt.Out(region.NewFloat64(16)))
+	rt.Wait()
+	if _, err := memo.SnapshotDelta(); err != nil {
+		t.Fatal(err)
+	}
+	// Two more identical tasks: training hits bump the successes
+	// counter, which the next delta must re-record.
+	rt.Submit(tt, taskrt.In(in), taskrt.Out(region.NewFloat64(16)))
+	rt.Submit(tt, taskrt.In(in), taskrt.Out(region.NewFloat64(16)))
+	rt.Wait()
+	d, err := memo.SnapshotDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta *TypeDelta
+	for i := range d.Types {
+		if d.Types[i].Name == "double" && d.Types[i].HasMeta {
+			meta = &d.Types[i]
+		}
+	}
+	if meta == nil {
+		t.Fatalf("training progress must dirty the type metadata: %+v", d.Types)
+	}
+	if meta.Steady || meta.Successes == 0 {
+		t.Fatalf("delta metadata must carry the in-training successes count: %+v", meta)
+	}
+}
+
+func TestFailedSnapshotLeavesDeltaChainIntact(t *testing.T) {
+	// A full save that fails (duplicate type names) must not have
+	// consumed the insert log: the inserts still belong to the next
+	// delta, or the chain would silently lose them.
+	memo := New(Config{Mode: ModeStatic})
+	memo.EnableDeltaTracking()
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+	defer rt.Close()
+	t1 := rt.RegisterType(taskrt.TypeConfig{Name: "same", Memoize: true, Run: doubler})
+	t2 := rt.RegisterType(taskrt.TypeConfig{Name: "same", Memoize: true, Run: doubler})
+	rt.Submit(t1, taskrt.In(mkInput(1)), taskrt.Out(region.NewFloat64(16)))
+	rt.Submit(t2, taskrt.In(mkInput(2)), taskrt.Out(region.NewFloat64(16)))
+	rt.Wait()
+	if _, err := memo.Snapshot(); err == nil {
+		t.Fatal("snapshot of two same-named types must fail")
+	}
+	// SnapshotDelta fails for the same reason — but the entries must
+	// still be pinned by the log, not silently discarded: disabling
+	// tracking (the caller's give-up path) releases exactly them.
+	if _, err := memo.SnapshotDelta(); err == nil {
+		t.Fatal("delta of two same-named types must fail")
+	}
+	logged := memo.THT().DrainLog()
+	if len(logged) != 2 {
+		t.Fatalf("failed saves must leave the %d inserts in the log, found %d", 2, len(logged))
+	}
+	for _, e := range logged {
+		e.Release()
+	}
+}
+
+func TestDisableDeltaTrackingReleasesLog(t *testing.T) {
+	memo := New(Config{Mode: ModeStatic})
+	memo.EnableDeltaTracking()
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+	defer rt.Close()
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, Run: doubler})
+	runDistinct(rt, tt, 0, 3)
+	memo.DisableDeltaTracking()
+	if memo.DeltaTracking() {
+		t.Fatal("tracking must report disabled")
+	}
+	if got := memo.THT().DrainLog(); len(got) != 0 {
+		t.Fatalf("disable must have drained the log, found %d entries", len(got))
+	}
+	runDistinct(rt, tt, 3, 3)
+	if got := memo.THT().DrainLog(); len(got) != 0 {
+		t.Fatalf("inserts after disable must not be logged, found %d", len(got))
+	}
+}
+
+func TestSnapshotDeltaRejectsDuplicateTypeNames(t *testing.T) {
+	memo := New(Config{Mode: ModeStatic})
+	memo.EnableDeltaTracking()
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+	defer rt.Close()
+	t1 := rt.RegisterType(taskrt.TypeConfig{Name: "same", Memoize: true, Run: doubler})
+	t2 := rt.RegisterType(taskrt.TypeConfig{Name: "same", Memoize: true, Run: doubler})
+	rt.Submit(t1, taskrt.In(mkInput(1)), taskrt.Out(region.NewFloat64(16)))
+	rt.Submit(t2, taskrt.In(mkInput(2)), taskrt.Out(region.NewFloat64(16)))
+	rt.Wait()
+	if _, err := memo.SnapshotDelta(); err == nil {
+		t.Fatal("delta of two same-named types must fail")
+	}
+}

@@ -137,7 +137,36 @@ func (a *ATM) Snapshot() (*Snapshot, error) {
 			Ins:      cloneRegions(e.Ins),
 		})
 	})
+	if err := a.collectTypeSections(snap, byType); err != nil {
+		return nil, err
+	}
+	// A successful full snapshot supersedes the accumulated delta
+	// state: every insert the log references is covered by the table
+	// scan above, so the log is discarded and the current epoch sealed
+	// — the next SnapshotDelta carries only changes made after this
+	// point. The supersession commits only now, after every failure
+	// path is behind us: a failed Snapshot must leave the delta chain
+	// intact (draining up front would silently drop those inserts from
+	// every future delta). It also runs outside typeMu, preserving the
+	// snapMu→typeMu lock order SnapshotDelta uses. Under the full
+	// snapshot's quiescence contract no insert races the scan-then-
+	// drain window; racing saves belong to SnapshotDelta, whose drain
+	// partitions inserts exactly.
+	a.snapMu.Lock()
+	if a.tracking {
+		for _, e := range a.tht.DrainLog() {
+			e.Release()
+		}
+		a.savedThrough = a.saveEpoch.Add(1) - 1
+	}
+	a.snapMu.Unlock()
+	return snap, nil
+}
 
+// collectTypeSections appends the per-type sections (registered types
+// first, then carried unclaimed pending sections) to snap, under
+// typeMu.
+func (a *ATM) collectTypeSections(snap *Snapshot, byType map[int][]EntrySnapshot) error {
 	a.typeMu.Lock()
 	defer a.typeMu.Unlock()
 	var states []*typeState
@@ -155,7 +184,7 @@ func (a *ATM) Snapshot() (*Snapshot, error) {
 			// snapshot's sections are name-keyed: writing the collision
 			// out would produce a file every later Load rejects. Fail at
 			// save time, where it is diagnosable.
-			return nil, fmt.Errorf("core: two task types named %q: snapshot sections are keyed by type name", name)
+			return fmt.Errorf("core: two task types named %q: snapshot sections are keyed by type name", name)
 		}
 		seen[name] = true
 		ph, level := ts.load()
@@ -196,7 +225,7 @@ func (a *ATM) Snapshot() (*Snapshot, error) {
 		}
 		snap.Types = append(snap.Types, cp)
 	}
-	return snap, nil
+	return nil
 }
 
 func cloneRegions(rs []region.Region) []region.Region {
@@ -237,8 +266,12 @@ func Restore(cfg Config, snap *Snapshot) (*ATM, error) {
 // installSection adopts a restored section into a freshly created
 // typeState. Called from stateSlow under typeMu, before the state is
 // published, so no task of the type can race the installation: the
-// first OnReady already sees the warm level and the warm THT.
-func (a *ATM) installSection(id int, ts *typeState, sec *TypeSnapshot) {
+// first OnReady already sees the warm level and the warm THT. The
+// return value reports whether the metadata installed verbatim — false
+// means the installed state diverged from the snapshot (clamped level,
+// or an excluded steady type demoted to training) and the caller must
+// mark the type dirty for the next delta save.
+func (a *ATM) installSection(id int, ts *typeState, sec *TypeSnapshot) bool {
 	level := sec.Level
 	if level < sampling.MinPLevel {
 		level = sampling.MinPLevel
@@ -266,7 +299,9 @@ func (a *ATM) installSection(id int, ts *typeState, sec *TypeSnapshot) {
 		if es.Level < sampling.MinPLevel || es.Level > sampling.MaxPLevel {
 			continue
 		}
-		a.tht.Insert(&Entry{
+		// Restored entries bypass the delta insert log (Epoch 0): the
+		// snapshot chain that produced them already persists them.
+		a.tht.InsertRestored(&Entry{
 			TypeID:     id,
 			Key:        es.Key,
 			Level:      es.Level,
@@ -276,6 +311,8 @@ func (a *ATM) installSection(id int, ts *typeState, sec *TypeSnapshot) {
 		})
 		a.restored.Add(1)
 	}
+	demoted := sec.Steady && sec.Excluded != 0
+	return level == sec.Level && !demoted
 }
 
 // RestoredEntries reports how many THT entries have been installed from

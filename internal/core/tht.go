@@ -20,7 +20,13 @@ type Entry struct {
 	Key        uint64
 	Level      int8
 	ProviderID uint64 // creation id of the task that produced the outputs
-	Outs       []region.Region
+	// Epoch is the save epoch the entry was inserted under (see
+	// ATM.saveEpoch), a diagnostic stamp: tests assert the epoch
+	// partition and tools can tell restored (epoch 0) from live
+	// entries. Delta extraction itself selects entries via the insert
+	// log below, not by comparing epochs.
+	Epoch uint64
+	Outs  []region.Region
 	// Ins snapshots the provider's inputs; populated only when
 	// Config.VerifyInputs is set (the §III-E final-check variant).
 	Ins   []region.Region
@@ -58,6 +64,11 @@ type THT struct {
 	buckets []thtBucket
 	pool    sync.Pool // recycled *Entry values with dead output buffers
 
+	// logging enables the per-bucket insert logs for incremental
+	// snapshots (see thtBucket.log); DrainLog hands the accumulated
+	// entries (and their references) to the snapshotter.
+	logging atomic.Bool
+
 	memBytes atomic.Int64
 	entries  atomic.Int64
 	lookups  atomic.Int64
@@ -70,6 +81,13 @@ type thtBucket struct {
 	entries []*Entry // ring: oldest at head
 	head    int
 	n       int
+	// log records this bucket's inserts (retained) for the next delta
+	// snapshot, appended under mu so it preserves the bucket's insert
+	// order — the only order that matters for replaying a delta into an
+	// empty table, since buckets are independent FIFO rings. Keeping
+	// the log per bucket costs no extra synchronization on insert and
+	// no cross-bucket contention.
+	log []*Entry
 }
 
 // NewTHT builds a THT with 2^nbits buckets of capacity m each. The paper's
@@ -118,8 +136,16 @@ func (t *THT) GetEntry() *Entry {
 
 // Insert adds e, evicting the bucket's oldest entry if it is full. The
 // entry's memory size is computed idempotently, so re-inserting an entry
-// (or inserting a recycled one) never double-counts.
-func (t *THT) Insert(e *Entry) {
+// (or inserting a recycled one) never double-counts. When the insert
+// log is enabled the entry is recorded for the next delta snapshot.
+func (t *THT) Insert(e *Entry) { t.insert(e, true) }
+
+// InsertRestored is Insert for entries installed from a persisted
+// snapshot: they are already saved, so they bypass the insert log (a
+// delta must carry only state the previous save did not).
+func (t *THT) InsertRestored(e *Entry) { t.insert(e, false) }
+
+func (t *THT) insert(e *Entry, logIt bool) {
 	var size int64
 	for _, o := range e.Outs {
 		size += int64(o.NumBytes())
@@ -157,6 +183,13 @@ func (t *THT) Insert(e *Entry) {
 		b.entries[(b.head+b.n)%len(b.entries)] = e
 		b.n++
 	}
+	if logIt && t.logging.Load() {
+		// Still under b.mu: concurrent inserts into this bucket reach
+		// the log in ring order, so a replay of the log rebuilds
+		// identical per-bucket FIFO state.
+		e.retain() // the log's reference; dropped by the drain consumer
+		b.log = append(b.log, e)
+	}
 	b.mu.Unlock()
 	t.memBytes.Add(size)
 	t.entries.Add(1)
@@ -191,6 +224,40 @@ func (t *THT) forEach(fn func(e *Entry)) {
 			e.Release()
 		}
 	}
+}
+
+// SetLogging turns the insert log on or off. Disabling releases any
+// entries still queued (their inserts will not be replayable by a
+// delta).
+func (t *THT) SetLogging(on bool) {
+	t.logging.Store(on)
+	if !on {
+		for _, e := range t.DrainLog() {
+			e.Release()
+		}
+	}
+}
+
+// DrainLog takes the accumulated insert logs, bucket by bucket in
+// index order. Each bucket's log is swapped out under its own lock, so
+// an insert racing the drain lands wholly in this result or wholly in
+// the next one — the exactly-once partition delta saves rely on.
+// Cross-bucket ordering in the result is arbitrary, which replay
+// tolerates (buckets are independent). Entries come retained (by
+// Insert, on the log's behalf); the caller owns those references and
+// must Release each entry when done with it.
+func (t *THT) DrainLog() []*Entry {
+	var log []*Entry
+	for bi := range t.buckets {
+		b := &t.buckets[bi]
+		b.mu.Lock()
+		if len(b.log) > 0 {
+			log = append(log, b.log...)
+			b.log = nil
+		}
+		b.mu.Unlock()
+	}
+	return log
 }
 
 // MemoryBytes reports the table's current payload size (Table III's

@@ -5,8 +5,10 @@ package harness
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"atm/internal/apps"
@@ -115,6 +117,12 @@ type Outcome struct {
 	// still happened, cold). A missing file under RunOptions.SnapshotPath
 	// is a normal cold start, not an error.
 	SnapshotErr error
+	// DeltaSaves counts the incremental saves a chain-mode run
+	// performed (periodic plus the final one); DeltaBytes is the total
+	// growth they appended to the chain file — the number that stays
+	// sublinear in table size when inter-save churn is small.
+	DeltaSaves int
+	DeltaBytes int64
 }
 
 // Reuse returns the run's overall memoized-task fraction.
@@ -155,6 +163,20 @@ type RunOptions struct {
 	SnapshotPath string
 	SnapshotLoad string
 	SnapshotSave string
+	// SnapshotChain switches persistence to the incremental chain
+	// format (persist version 2): the run warm-starts from the chain
+	// file when it exists (base restored, deltas replayed in order),
+	// and saves by APPENDING a delta record of just this run's changes
+	// instead of rewriting the whole table — O(churn) I/O per
+	// repetition. A missing file is a cold start that creates the chain
+	// with an empty base. Mutually exclusive with the whole-table
+	// fields above.
+	SnapshotChain string
+	// SnapshotDeltaEvery additionally saves a delta every interval
+	// while the run executes (chain mode only): the long-lived-service
+	// scenario, where warm state must survive a crash mid-run. Each
+	// periodic save quiesces through the runtime's completion fence.
+	SnapshotDeltaEvery time.Duration
 }
 
 // snapshotPaths resolves the effective load/save paths and whether a
@@ -186,20 +208,43 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 	var snapErr error
 	warm := false
 	load, save, loadOptional := opt.snapshotPaths()
+	chain := opt.SnapshotChain
 	if spec.Enabled {
 		cfg := core.Config{Mode: spec.Mode, FixedLevel: spec.Level, DisableIKT: !spec.IKT, Seed: opt.Seed}
-		if load != "" {
-			snap, err := persist.Load(load)
-			if err == nil {
-				memo, err = core.Restore(cfg, snap)
+		if chain != "" {
+			// Incremental chain mode supersedes the whole-table paths.
+			load, save = "", ""
+			memo, warm, snapErr = restoreChain(cfg, chain, true)
+			if snapErr != nil && errors.Is(snapErr, os.ErrNotExist) {
+				snapErr = nil // cold start: this repetition creates the chain
 			}
-			switch {
-			case err == nil:
-				warm = true
-			case loadOptional && errors.Is(err, os.ErrNotExist):
-				// Cold start: the sweep's first repetition.
-			default:
-				snapErr = err
+			if memo == nil {
+				memo = core.New(cfg)
+			}
+			if snapErr == nil {
+				// A failed chain load means no save will ever drain the
+				// insert log; don't start retaining entries for it.
+				memo.EnableDeltaTracking()
+			}
+			if !warm && snapErr == nil {
+				// First repetition: create the chain file, its base
+				// holding this engine's (empty) pre-run state, so the
+				// post-run saves below can append O(churn) delta records.
+				if snap, err := memo.Snapshot(); err != nil {
+					snapErr = err
+				} else if err := persist.SaveChain(chain, snap, nil); err != nil {
+					snapErr = err
+				}
+				if snapErr != nil {
+					memo.DisableDeltaTracking() // nothing will drain the log
+				}
+			}
+		} else if load != "" {
+			// Chain-aware load: a v1 whole-table snapshot, a merged
+			// shard file, or a full v2 chain all warm-start here.
+			memo, warm, snapErr = restoreChain(cfg, load, false)
+			if loadOptional && snapErr != nil && errors.Is(snapErr, os.ErrNotExist) {
+				snapErr = nil // cold start: the sweep's first repetition
 			}
 		}
 		if memo == nil {
@@ -209,12 +254,63 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 	}
 	rt := taskrt.New(taskrt.Config{Workers: workers, Memoizer: m, Tracer: tr, Policy: opt.Policy, BatchSize: opt.Batch})
 
+	// In chain mode every save appends one delta record; file growth is
+	// the honest measure of save cost (it includes record framing).
+	var deltaSaves int
+	var deltaBytes int64
+	appendDelta := func() {
+		if snapErr != nil {
+			return
+		}
+		d, err := memo.SnapshotDelta()
+		if err != nil {
+			snapErr = err
+			memo.DisableDeltaTracking() // no further saves will drain the log
+			return
+		}
+		// The stats are best-effort: a failed Stat must not abort the
+		// save itself.
+		var preSize int64 = -1
+		if pre, err := os.Stat(chain); err == nil {
+			preSize = pre.Size()
+		}
+		if err := persist.AppendDelta(chain, d); err != nil {
+			snapErr = err
+			memo.DisableDeltaTracking()
+			return
+		}
+		if post, err := os.Stat(chain); err == nil && preSize >= 0 {
+			deltaBytes += post.Size() - preSize
+		}
+		deltaSaves++
+	}
+	stopSaver := make(chan struct{})
+	var saverWG sync.WaitGroup
+	if chain != "" && opt.SnapshotDeltaEvery > 0 && memo != nil && snapErr == nil {
+		saverWG.Add(1)
+		go func() {
+			defer saverWG.Done()
+			tick := time.NewTicker(opt.SnapshotDeltaEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSaver:
+					return
+				case <-tick.C:
+					appendDelta() // quiesces via the runtime's completion fence
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
 	app.Run(rt)
 	elapsed := time.Since(start)
+	close(stopSaver)
+	saverWG.Wait()
 	rt.Close()
 
-	out := Outcome{App: app, Spec: spec, Workers: workers, Elapsed: elapsed, Tracer: tr, WarmStart: warm, SnapshotErr: snapErr}
+	out := Outcome{App: app, Spec: spec, Workers: workers, Elapsed: elapsed, Tracer: tr, WarmStart: warm}
 	if memo != nil {
 		out.Stats = memo.Stats()
 		out.ATMMemory = memo.MemoryBytes()
@@ -223,15 +319,50 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 		for _, ts := range out.Stats.Types {
 			out.ChosenLevels[ts.Name] = ts.Level
 		}
-		if save != "" && snapErr == nil {
+		switch {
+		case chain != "":
+			appendDelta() // the final save: this run's remaining churn
+		case save != "" && snapErr == nil:
 			if snap, err := memo.Snapshot(); err != nil {
-				out.SnapshotErr = err
+				snapErr = err
 			} else if err := persist.Save(save, snap); err != nil {
-				out.SnapshotErr = err
+				snapErr = err
 			}
 		}
 	}
+	out.SnapshotErr = snapErr
+	out.DeltaSaves, out.DeltaBytes = deltaSaves, deltaBytes
 	return out
+}
+
+// restoreChain loads a snapshot file of either format version and
+// builds a warm engine from it: the base is restored and any delta
+// records are replayed in order. requireBase distinguishes the chain
+// owner (a shard's own chain must start with its base) from generic
+// loads. Returns (nil, false, err) on any failure, including a missing
+// file (errors.Is os.ErrNotExist — the caller decides whether that is
+// a cold start or an error).
+func restoreChain(cfg core.Config, path string, requireBase bool) (*core.ATM, bool, error) {
+	base, deltas, err := persist.LoadChain(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if base == nil {
+		if requireBase {
+			return nil, false, fmt.Errorf("%s: chain has no base record (a delta-only shard file cannot warm-start alone)", path)
+		}
+		return nil, false, fmt.Errorf("%s: snapshot has no base record", path)
+	}
+	memo, err := core.Restore(cfg, base)
+	if err != nil {
+		return nil, false, err
+	}
+	for i, d := range deltas {
+		if err := memo.ApplyDelta(d); err != nil {
+			return nil, false, fmt.Errorf("%s: delta %d: %w", path, i, err)
+		}
+	}
+	return memo, true, nil
 }
 
 // RunMedian runs the spec `repeats` times and returns the run with the

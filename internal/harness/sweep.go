@@ -2,7 +2,12 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
+
+	"atm/internal/core"
+	"atm/internal/persist"
 )
 
 // Sweep reproduces the repeated-experiment-sweep scenario the paper's
@@ -67,5 +72,124 @@ func Sweep(opt Options, reps int, path string) error {
 			cold.Elapsed.Round(time.Microsecond), last.Elapsed.Round(time.Microsecond),
 			fx(Speedup(cold, last)))
 	}
+	return nil
+}
+
+// ShardedSweep reproduces the sharded sweep + merge workflow enabled
+// by incremental chains (docs/persistence.md): each selected benchmark
+// plays the role of one sweep shard, running reps repetitions against
+// its own chain file under dir — repetition 1 creates the chain (cold,
+// empty base) and every repetition appends a delta record of just its
+// churn, so per-rep save I/O is proportional to what the rep learned,
+// not to the table (the report's Append column shrinks toward the
+// ~20-byte empty record as the shard warms). The shards' chains are
+// then compacted and merged (persist.Compact + persist.MergeSnapshots
+// — the fingerprint is config-level, so one merged file can hold every
+// shard's types), and each benchmark re-runs warm-starting from the
+// single merged file, exactly what `snapshotctl merge` produces for
+// sweeps split across machines.
+func ShardedSweep(opt Options, reps int, dir string) error {
+	if reps < 2 {
+		reps = 2
+	}
+	spec := Dynamic(true)
+	names := opt.names()
+	fmt.Fprintf(opt.Out, "Sharded delta sweep: %d shard(s) x %d repetitions under %s, chains under %s\n",
+		len(names), reps, spec.Name(), dir)
+
+	type shard struct {
+		name string
+		file string
+		cold Outcome
+	}
+	shards := make([]shard, 0, len(names))
+	for _, name := range names {
+		file := filepath.Join(dir, "shard."+name+".atmchain")
+		t := newTable(opt.Out)
+		t.row("Shard", "Rep", "Start", "Elapsed", "Reuse", "THTHitRatio", "Append", "Chain")
+		sh := shard{name: name, file: file}
+		for rep := 1; rep <= reps; rep++ {
+			ro := opt.runOpt()
+			ro.SnapshotChain = file
+			o := RunOne(FactoryFor(name), opt.Scale, opt.Workers, spec, ro)
+			if o.SnapshotErr != nil {
+				return fmt.Errorf("shard %s rep %d: %w", name, rep, o.SnapshotErr)
+			}
+			if rep == 1 {
+				sh.cold = o
+			}
+			startKind := "cold"
+			if o.WarmStart {
+				startKind = "warm"
+			}
+			size := int64(0)
+			if fi, err := os.Stat(file); err == nil {
+				size = fi.Size()
+			}
+			t.row(name, fmt.Sprint(rep), startKind,
+				o.Elapsed.Round(time.Microsecond).String(),
+				fpct(100*o.Reuse()),
+				fpct(100*o.THTHitRatio()),
+				fmt.Sprintf("%dB", o.DeltaBytes),
+				fmt.Sprintf("%dB", size))
+		}
+		t.flush()
+		shards = append(shards, sh)
+	}
+
+	// Fold every shard chain into a full snapshot and merge them.
+	fulls := make([]*core.Snapshot, 0, len(shards))
+	var chainTotal int64
+	for _, sh := range shards {
+		base, deltas, err := persist.LoadChain(sh.file)
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", sh.name, err)
+		}
+		full, err := persist.Compact(base, deltas...)
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", sh.name, err)
+		}
+		fulls = append(fulls, full)
+		if fi, err := os.Stat(sh.file); err == nil {
+			chainTotal += fi.Size()
+		}
+	}
+	merged, err := persist.MergeSnapshots(fulls...)
+	if err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	mergedFile := filepath.Join(dir, "merged.atmsnap")
+	if err := persist.SaveChain(mergedFile, merged, nil); err != nil {
+		return err
+	}
+	mergedSize := int64(0)
+	if fi, err := os.Stat(mergedFile); err == nil {
+		mergedSize = fi.Size()
+	}
+	fmt.Fprintf(opt.Out, "Merged %d shard chain(s) (%dB total) into %s (%dB, %d sections)\n",
+		len(shards), chainTotal, mergedFile, mergedSize, len(merged.Types))
+
+	// Warm phase: every benchmark restarts from the single merged file.
+	t := newTable(opt.Out)
+	t.row("Shard", "Start", "Elapsed", "Speedup", "Reuse", "THTHitRatio", "RestoredEntries")
+	for _, sh := range shards {
+		ro := opt.runOpt()
+		ro.SnapshotLoad = mergedFile
+		o := RunOne(FactoryFor(sh.name), opt.Scale, opt.Workers, spec, ro)
+		if o.SnapshotErr != nil {
+			return fmt.Errorf("merged warm run %s: %w", sh.name, o.SnapshotErr)
+		}
+		startKind := "cold"
+		if o.WarmStart {
+			startKind = "warm"
+		}
+		t.row(sh.name, startKind,
+			o.Elapsed.Round(time.Microsecond).String(),
+			fx(Speedup(sh.cold, o)),
+			fpct(100*o.Reuse()),
+			fpct(100*o.THTHitRatio()),
+			fmt.Sprint(o.RestoredEntries))
+	}
+	t.flush()
 	return nil
 }

@@ -7,8 +7,11 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
 	"atm/internal/apps"
 	"atm/internal/core"
+	"atm/internal/persist"
 )
 
 func TestRunOneSnapshotPathWarmStarts(t *testing.T) {
@@ -64,6 +67,127 @@ func TestSweepReportsWarmDeltas(t *testing.T) {
 	for _, want := range []string{"cold", "warm", "warm-vs-cold", "THTHitRatio"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("sweep report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunOneSnapshotChainSublinearAndCompactEquivalent drives the
+// acceptance scenario end to end: per-rep delta saves into one chain
+// file, the warm rep appending a near-empty record (sublinear in table
+// size), and a compaction of that chain warm-starting bit-identically
+// to the whole-table snapshot path.
+func TestRunOneSnapshotChainSublinearAndCompactEquivalent(t *testing.T) {
+	f := FactoryFor("Blackscholes")
+	dir := t.TempDir()
+	chain := filepath.Join(dir, "warm.atmchain")
+	spec := Static(true)
+
+	cold := RunOne(f, apps.ScaleTest, 4, spec, RunOptions{SnapshotChain: chain})
+	if cold.SnapshotErr != nil {
+		t.Fatalf("cold run: %v", cold.SnapshotErr)
+	}
+	if cold.WarmStart || cold.DeltaSaves != 1 || cold.DeltaBytes == 0 {
+		t.Fatalf("cold chain run must create the chain and append one delta: %+v", cold)
+	}
+
+	warm := RunOne(f, apps.ScaleTest, 4, spec, RunOptions{SnapshotChain: chain})
+	if warm.SnapshotErr != nil {
+		t.Fatalf("warm run: %v", warm.SnapshotErr)
+	}
+	if !warm.WarmStart || warm.RestoredEntries == 0 {
+		t.Fatalf("second chain run must warm-start: %+v", warm)
+	}
+	for i, r := range warm.App.Result() {
+		if !r.EqualContents(cold.App.Result()[i]) {
+			t.Fatalf("warm result region %d diverges", i)
+		}
+	}
+	// Sublinear: the all-hit warm rep appends a near-empty delta record,
+	// a tiny fraction of the cold rep's full-churn delta.
+	if warm.DeltaBytes*4 >= cold.DeltaBytes {
+		t.Fatalf("warm append %dB must be well below cold append %dB", warm.DeltaBytes, cold.DeltaBytes)
+	}
+
+	// Compact the chain and warm-start from the result; also warm-start
+	// from a classic whole-table snapshot of the same workload. The two
+	// paths must produce bit-identical outputs and full reuse.
+	base, deltas, err := persist.LoadChain(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := persist.Compact(base, deltas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compacted := filepath.Join(dir, "compacted.atmsnap")
+	if err := persist.SaveChain(compacted, full, nil); err != nil {
+		t.Fatal(err)
+	}
+	wholePath := filepath.Join(dir, "whole.atmsnap")
+	whole := RunOne(f, apps.ScaleTest, 4, spec, RunOptions{SnapshotSave: wholePath})
+	if whole.SnapshotErr != nil {
+		t.Fatal(whole.SnapshotErr)
+	}
+
+	viaCompact := RunOne(f, apps.ScaleTest, 4, spec, RunOptions{SnapshotLoad: compacted})
+	viaWhole := RunOne(f, apps.ScaleTest, 4, spec, RunOptions{SnapshotLoad: wholePath})
+	for _, o := range []Outcome{viaCompact, viaWhole} {
+		if o.SnapshotErr != nil {
+			t.Fatal(o.SnapshotErr)
+		}
+		if !o.WarmStart || o.RestoredEntries == 0 {
+			t.Fatalf("restored run must warm-start: %+v", o)
+		}
+	}
+	for i, r := range viaCompact.App.Result() {
+		if !r.EqualContents(viaWhole.App.Result()[i]) {
+			t.Fatalf("compacted-chain warm start diverges from whole-table warm start on region %d", i)
+		}
+		if !r.EqualContents(cold.App.Result()[i]) {
+			t.Fatalf("compacted-chain warm start diverges from the cold run on region %d", i)
+		}
+	}
+	if viaCompact.Reuse() != viaWhole.Reuse() {
+		t.Fatalf("reuse differs between compacted (%v) and whole-table (%v) warm starts",
+			viaCompact.Reuse(), viaWhole.Reuse())
+	}
+}
+
+// TestRunOneSnapshotDeltaEvery exercises the periodic mid-run saver:
+// every tick appends one loadable delta record, and the final record
+// count matches what the run reports.
+func TestRunOneSnapshotDeltaEvery(t *testing.T) {
+	chain := filepath.Join(t.TempDir(), "service.atmchain")
+	o := RunOne(FactoryFor("Kmeans"), apps.ScaleTest, 4, Static(true),
+		RunOptions{SnapshotChain: chain, SnapshotDeltaEvery: 200 * time.Microsecond})
+	if o.SnapshotErr != nil {
+		t.Fatal(o.SnapshotErr)
+	}
+	if o.DeltaSaves < 1 {
+		t.Fatalf("the final delta save must always happen: %+v", o)
+	}
+	base, deltas, err := persist.LoadChain(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == nil {
+		t.Fatal("chain must start with its base record")
+	}
+	if len(deltas) != o.DeltaSaves {
+		t.Fatalf("chain holds %d delta records, run reported %d saves", len(deltas), o.DeltaSaves)
+	}
+}
+
+func TestShardedSweepMergesShards(t *testing.T) {
+	var buf bytes.Buffer
+	opt := testOpts(&buf, "Blackscholes", "Kmeans")
+	if err := ShardedSweep(opt, 2, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Sharded delta sweep", "cold", "warm", "Merged 2 shard chain(s)", "RestoredEntries"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sharded sweep report missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,526 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"atm/internal/core"
+)
+
+// This file defines format version 2, the incremental chain layout: a
+// header followed by a stream of CRC-framed records — one optional
+// full-base record and any number of ordered delta records. A chain
+// file is appended to in O(delta) I/O (AppendDelta), which is what
+// makes per-save cost proportional to the churn instead of to the
+// table: a long-lived service (or a sweep repetition) saves a delta
+// record; snapshotctl (or persist.Compact) folds a chain back into a
+// single base.
+//
+//	[8]  magic "ATMSNAP\x00"
+//	[4]  u32 format version (2)
+//	[8]  u64 config fingerprint (core.Fingerprint; one per file —
+//	     every record must be produced under the same config)
+//	...  records until EOF, each:
+//	       [1] u8 kind (1 = base, 2 = delta)
+//	       [4] u32 body length, then the body
+//	       [4] u32 CRC-32 (IEEE) of the body
+//
+// A base record may appear only as the first record (a file may also
+// hold deltas alone — a shard's incremental save, chained onto a base
+// kept elsewhere). At least one record is required.
+//
+//	base body:   3 × i64 IKT counters, u32 section count, sections
+//	             (the version-1 section encoding, per-entry CRC and all)
+//	delta body:  u32 type count, then per type:
+//	               u16 name length + name bytes
+//	               u8 flags (bit 0: steady, bit 1: has-meta), u8 level
+//	               u32 successes, u32 excluded-region count
+//	               (all four meta fields must be zero when has-meta is
+//	               unset — the type is present only as an entry target)
+//	             u32 entry count, then per entry:
+//	               u32 type index (into this delta's type table)
+//	               the version-1 entry encoding (length, body, CRC)
+//
+// Decoding is as strict as version 1 — exact lengths, validated enums
+// and indices, verified CRCs, no trailing bytes, typed errors, never a
+// panic — with one deliberate exception: the record stream ends at
+// EOF, so a chain cut exactly at a record boundary decodes as a valid,
+// shorter chain. That is the price of O(delta) appends (no up-front
+// record count to rewrite); a snapshot is a cache, and a chain missing
+// its newest deltas merely restores less warm state. A tear anywhere
+// inside a record is rejected.
+
+// Version2 is the incremental chain format version.
+const Version2 = 2
+
+// Record kinds.
+const (
+	recordBase  = 1
+	recordDelta = 2
+)
+
+// headerLen is magic + version + fingerprint.
+const headerLen = 8 + 4 + 8
+
+// FileVersion reads the format version from an encoded snapshot
+// header without decoding the rest (snapshotctl inspect's dispatch).
+func FileVersion(data []byte) (uint32, error) {
+	if len(data) < 12 {
+		return 0, fmt.Errorf("%w: %d-byte header", ErrTruncated, len(data))
+	}
+	if [8]byte(data[:8]) != magic {
+		return 0, ErrBadMagic
+	}
+	return binary.LittleEndian.Uint32(data[8:12]), nil
+}
+
+// MarshalChain encodes a chain: an optional full base snapshot
+// followed by deltas in order. All parts must share one config
+// fingerprint, and the chain must not be empty.
+func MarshalChain(base *core.Snapshot, deltas []*core.Delta) ([]byte, error) {
+	var fp uint64
+	switch {
+	case base != nil:
+		fp = base.Fingerprint
+	case len(deltas) > 0:
+		fp = deltas[0].Fingerprint
+	default:
+		return nil, fmt.Errorf("persist: empty chain (no base, no deltas)")
+	}
+	for i, d := range deltas {
+		if d.Fingerprint != fp {
+			return nil, fmt.Errorf("persist: delta %d fingerprint %#016x differs from chain %#016x", i, d.Fingerprint, fp)
+		}
+	}
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version2)
+	buf = binary.LittleEndian.AppendUint64(buf, fp)
+	var body []byte // reused scratch
+	if base != nil {
+		var err error
+		body, err = appendBaseBody(body[:0], base)
+		if err != nil {
+			return nil, err
+		}
+		buf, err = appendRecord(buf, recordBase, body)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, d := range deltas {
+		var err error
+		body, err = appendDeltaBody(body[:0], d)
+		if err != nil {
+			return nil, fmt.Errorf("persist: delta %d: %w", i, err)
+		}
+		buf, err = appendRecord(buf, recordDelta, body)
+		if err != nil {
+			return nil, fmt.Errorf("persist: delta %d: %w", i, err)
+		}
+	}
+	return buf, nil
+}
+
+func appendRecord(buf []byte, kind byte, body []byte) ([]byte, error) {
+	if len(body) > math.MaxUint32 {
+		return nil, fmt.Errorf("persist: %d-byte record body overflows the format", len(body))
+	}
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	return buf, nil
+}
+
+func appendBaseBody(body []byte, s *core.Snapshot) ([]byte, error) {
+	body = binary.LittleEndian.AppendUint64(body, uint64(s.IKT.Inserts))
+	body = binary.LittleEndian.AppendUint64(body, uint64(s.IKT.Defers))
+	body = binary.LittleEndian.AppendUint64(body, uint64(s.IKT.Rejected))
+	if len(s.Types) > math.MaxUint32 {
+		return nil, fmt.Errorf("persist: %d sections overflow the format", len(s.Types))
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(s.Types)))
+	var sec, entry []byte // reused scratch
+	for i := range s.Types {
+		var err error
+		sec, err = appendSectionBody(sec[:0], &s.Types[i], &entry)
+		if err != nil {
+			return nil, err
+		}
+		if len(sec) > math.MaxUint32 {
+			return nil, fmt.Errorf("persist: type %q: %d-byte section overflows the format", s.Types[i].Name, len(sec))
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(sec)))
+		body = append(body, sec...)
+	}
+	return body, nil
+}
+
+func appendDeltaBody(body []byte, d *core.Delta) ([]byte, error) {
+	if len(d.Types) > math.MaxUint32 {
+		return nil, fmt.Errorf("%d delta types overflow the format", len(d.Types))
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(d.Types)))
+	for i := range d.Types {
+		td := &d.Types[i]
+		if len(td.Name) > math.MaxUint16 {
+			return nil, fmt.Errorf("type name %q overflows the format", td.Name[:32])
+		}
+		body = binary.LittleEndian.AppendUint16(body, uint16(len(td.Name)))
+		body = append(body, td.Name...)
+		// Meta fields are canonically zero without has-meta: one logical
+		// delta has exactly one encoding.
+		if !td.HasMeta {
+			body = append(body, 0, 0)
+			body = binary.LittleEndian.AppendUint32(body, 0)
+			body = binary.LittleEndian.AppendUint32(body, 0)
+			continue
+		}
+		flags := byte(2)
+		if td.Steady {
+			flags |= 1
+		}
+		body = append(body, flags, byte(td.Level))
+		body = binary.LittleEndian.AppendUint32(body, uint32(td.Successes))
+		body = binary.LittleEndian.AppendUint32(body, uint32(td.Excluded))
+	}
+	if len(d.Entries) > math.MaxUint32 {
+		return nil, fmt.Errorf("%d delta entries overflow the format", len(d.Entries))
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(d.Entries)))
+	var entry []byte // reused scratch
+	for i := range d.Entries {
+		de := &d.Entries[i]
+		if de.Type < 0 || de.Type >= len(d.Types) {
+			return nil, fmt.Errorf("entry %d references type %d of %d", i, de.Type, len(d.Types))
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(de.Type))
+		eb, err := appendEntryBody(entry[:0], &de.EntrySnapshot)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		entry = eb
+		if len(eb) > math.MaxUint32 {
+			return nil, fmt.Errorf("entry %d: %d-byte body overflows the format", i, len(eb))
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(eb)))
+		body = append(body, eb...)
+		body = binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(eb))
+	}
+	return body, nil
+}
+
+// UnmarshalChain decodes a version-2 chain, strictly (see the layout
+// comment for the one record-boundary caveat). The returned base is
+// nil for a delta-only file.
+func UnmarshalChain(data []byte) (*core.Snapshot, []*core.Delta, error) {
+	d := &decoder{data: data}
+	head, err := d.need(8)
+	if err != nil {
+		return nil, nil, err
+	}
+	if [8]byte(head) != magic {
+		return nil, nil, ErrBadMagic
+	}
+	ver, err := d.u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if ver != Version2 {
+		return nil, nil, fmt.Errorf("%w: file version %d, want chain version %d", ErrVersion, ver, Version2)
+	}
+	fp, err := d.u64()
+	if err != nil {
+		return nil, nil, err
+	}
+	var base *core.Snapshot
+	var deltas []*core.Delta
+	for rec := 0; d.remaining() > 0; rec++ {
+		kind, err := d.u8()
+		if err != nil {
+			return nil, nil, err
+		}
+		blen, err := d.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := d.need(int(blen))
+		if err != nil {
+			return nil, nil, err
+		}
+		sum, err := d.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return nil, nil, fmt.Errorf("%w: record %d CRC mismatch", ErrCorrupt, rec)
+		}
+		switch kind {
+		case recordBase:
+			if rec != 0 {
+				return nil, nil, fmt.Errorf("%w: base record at position %d (must be first)", ErrCorrupt, rec)
+			}
+			base, err = decodeBaseBody(body, fp)
+		case recordDelta:
+			var dl *core.Delta
+			dl, err = decodeDeltaBody(body, fp)
+			deltas = append(deltas, dl)
+		default:
+			return nil, nil, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("record %d: %w", rec, err)
+		}
+	}
+	if base == nil && len(deltas) == 0 {
+		return nil, nil, fmt.Errorf("%w: chain with no records", ErrCorrupt)
+	}
+	return base, deltas, nil
+}
+
+func decodeBaseBody(body []byte, fp uint64) (*core.Snapshot, error) {
+	d := &decoder{data: body}
+	s := &core.Snapshot{Fingerprint: fp}
+	for _, p := range []*int64{&s.IKT.Inserts, &s.IKT.Defers, &s.IKT.Rejected} {
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		*p = int64(v)
+	}
+	nsec, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for i := uint32(0); i < nsec; i++ {
+		blen, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		sb, err := d.need(int(blen))
+		if err != nil {
+			return nil, err
+		}
+		sec, err := decodeSection(sb)
+		if err != nil {
+			return nil, fmt.Errorf("section %d: %w", i, err)
+		}
+		if seen[sec.Name] {
+			return nil, fmt.Errorf("%w: duplicate section for type %q", ErrCorrupt, sec.Name)
+		}
+		seen[sec.Name] = true
+		s.Types = append(s.Types, *sec)
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d stray bytes in base record", ErrCorrupt, d.remaining())
+	}
+	return s, nil
+}
+
+func decodeDeltaBody(body []byte, fp uint64) (*core.Delta, error) {
+	d := &decoder{data: body}
+	dl := &core.Delta{Fingerprint: fp}
+	ntypes, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for i := uint32(0); i < ntypes; i++ {
+		nlen, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		name, err := d.need(int(nlen))
+		if err != nil {
+			return nil, err
+		}
+		td := core.TypeDelta{Name: string(name)}
+		if seen[td.Name] {
+			return nil, fmt.Errorf("%w: duplicate delta type %q", ErrCorrupt, td.Name)
+		}
+		seen[td.Name] = true
+		flags, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		if flags > 3 {
+			return nil, fmt.Errorf("%w: unknown delta type flags %#x", ErrCorrupt, flags)
+		}
+		level, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		succ, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		excl, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		td.HasMeta = flags&2 != 0
+		if td.HasMeta {
+			td.Steady = flags&1 != 0
+			if level > 15 {
+				return nil, fmt.Errorf("%w: p level %d out of range", ErrCorrupt, level)
+			}
+			td.Level = int(level)
+			td.Successes = int(succ)
+			td.Excluded = int(excl)
+		} else if flags != 0 || level != 0 || succ != 0 || excl != 0 {
+			// Canonical form: an entry-target-only type carries no
+			// payload, so accepted inputs re-encode byte-identically.
+			return nil, fmt.Errorf("%w: meta fields set on meta-less delta type %q", ErrCorrupt, td.Name)
+		}
+		dl.Types = append(dl.Types, td)
+	}
+	nent, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for j := uint32(0); j < nent; j++ {
+		ti, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(ti) >= len(dl.Types) {
+			return nil, fmt.Errorf("%w: entry %d references type %d of %d", ErrCorrupt, j, ti, len(dl.Types))
+		}
+		elen, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		ebody, err := d.need(int(elen))
+		if err != nil {
+			return nil, err
+		}
+		sum, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if crc32.ChecksumIEEE(ebody) != sum {
+			return nil, fmt.Errorf("%w: entry %d CRC mismatch", ErrCorrupt, j)
+		}
+		e, err := decodeEntry(ebody)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", j, err)
+		}
+		dl.Entries = append(dl.Entries, core.DeltaEntry{Type: int(ti), EntrySnapshot: *e})
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d stray bytes in delta record", ErrCorrupt, d.remaining())
+	}
+	return dl, nil
+}
+
+// SaveChain writes a chain atomically (same-directory temp file +
+// rename, like Save).
+func SaveChain(path string, base *core.Snapshot, deltas []*core.Delta) error {
+	data, err := MarshalChain(base, deltas)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(path, data)
+}
+
+// LoadChain reads a snapshot file of either version: a version-1 full
+// snapshot loads as (base, nil deltas), a version-2 chain as its base
+// (possibly nil) plus deltas in order. A missing file surfaces as an
+// error satisfying errors.Is(err, os.ErrNotExist) — a cold start.
+func LoadChain(path string) (*core.Snapshot, []*core.Delta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	ver, err := FileVersion(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch ver {
+	case Version:
+		s, err := Unmarshal(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return s, nil, nil
+	case Version2:
+		base, deltas, err := UnmarshalChain(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return base, deltas, nil
+	default:
+		return nil, nil, fmt.Errorf("%s: %w: file version %d", path, ErrVersion, ver)
+	}
+}
+
+// AppendDelta appends one delta record to an existing version-2 chain
+// file in O(delta) I/O — the incremental save that keeps per-save cost
+// proportional to the churn. The file's header (magic, version,
+// fingerprint) is verified first; the body is not re-read. The append
+// is a single write of a CRC-framed record: a crash mid-append leaves
+// a torn tail that LoadChain rejects as a whole — delete the file (or
+// restore from a shard copy) and run cold, exactly the cache
+// discipline of docs/persistence.md.
+func AppendDelta(path string, d *core.Delta) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	// Closed explicitly on every path: the success-path Close error is
+	// the only signal that flushing the appended record failed.
+	fail := func(err error) error {
+		f.Close()
+		return err
+	}
+	var head [headerLen]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return fail(fmt.Errorf("%s: %w: chain header", path, ErrTruncated))
+	}
+	ver, err := FileVersion(head[:])
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", path, err))
+	}
+	if ver != Version2 {
+		return fail(fmt.Errorf("%s: %w: cannot append a delta to a version-%d file", path, ErrVersion, ver))
+	}
+	fp := binary.LittleEndian.Uint64(head[12:20])
+	if fp != d.Fingerprint {
+		return fail(fmt.Errorf("%s: chain fingerprint %#016x, delta %#016x", path, fp, d.Fingerprint))
+	}
+	body, err := appendDeltaBody(nil, d)
+	if err != nil {
+		return fail(err)
+	}
+	rec, err := appendRecord(nil, recordDelta, body)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return fail(err)
+	}
+	if _, err := f.Write(rec); err != nil {
+		return fail(err)
+	}
+	return f.Close()
+}
+
+// writeAtomic writes data to path via a same-directory temp file and
+// rename, so a crash mid-write leaves the previous file (or none).
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"atm/internal/core"
@@ -20,6 +21,97 @@ import (
 //
 // The corpus is seeded with real encoded snapshots (plus their
 // truncations and single-byte corruptions via the fuzzer's mutations).
+// FuzzDeltaChainDecode is FuzzSnapshotRoundTrip for the version-2
+// chain format: decoding arbitrary bytes must never panic, and any
+// accepted chain is canonical — MarshalChain(UnmarshalChain(b))
+// reproduces b byte for byte (exact lengths, validated enums and type
+// indices, zeroed meta fields on meta-less type rows, records ending
+// exactly at EOF), so a chain that survives a load/append cycle can
+// never drift.
+func FuzzDeltaChainDecode(f *testing.F) {
+	base, deltas := buildChain(f)
+	if data, err := MarshalChain(base, deltas); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	if dOnly, err := MarshalChain(nil, deltas); err == nil {
+		f.Add(dOnly)
+	}
+	if v1, err := Marshal(base); err == nil {
+		f.Add(v1) // version skew path
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ATMSNAP\x00junk"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, ds, err := UnmarshalChain(data)
+		if err != nil {
+			return // rejected: fine, as long as we did not panic
+		}
+		enc, err := MarshalChain(b, ds)
+		if err != nil {
+			t.Fatalf("decoded chain failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatal("accepted chain must be canonical: encode(decode(b)) != b")
+		}
+		if _, _, err := UnmarshalChain(enc); err != nil {
+			t.Fatalf("re-encoded chain failed to decode: %v", err)
+		}
+	})
+}
+
+// FuzzMergeSnapshots drives MergeSnapshots with pairs of decoded
+// snapshots: merging must never panic, must reject fingerprint skew
+// with the typed error, and an accepted merge must be commutative
+// (merge(a,b) == merge(b,a) byte for byte — the shard-reordering
+// determinism property, fuzzed) and itself round-trip through the
+// codec.
+func FuzzMergeSnapshots(f *testing.F) {
+	snap := buildSnapshot(f)
+	if data, err := Marshal(snap); err == nil {
+		f.Add(data, data)
+		if empty, err := Marshal(&core.Snapshot{Fingerprint: snap.Fingerprint}); err == nil {
+			f.Add(data, empty)
+		}
+	}
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a, errA := Unmarshal(rawA)
+		b, errB := Unmarshal(rawB)
+		if errA != nil || errB != nil {
+			return
+		}
+		ab, err := MergeSnapshots(a, b)
+		if a.Fingerprint != b.Fingerprint {
+			if !errors.Is(err, core.ErrSnapshotConfig) {
+				t.Fatalf("fingerprint skew must be typed: %v", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("merge of two valid snapshots failed: %v", err)
+		}
+		ba, err := MergeSnapshots(b, a)
+		if err != nil {
+			t.Fatalf("reversed merge failed: %v", err)
+		}
+		encAB, err := Marshal(ab)
+		if err != nil {
+			t.Fatalf("merged snapshot failed to encode: %v", err)
+		}
+		encBA, err := Marshal(ba)
+		if err != nil {
+			t.Fatalf("reversed merged snapshot failed to encode: %v", err)
+		}
+		if !bytes.Equal(encAB, encBA) {
+			t.Fatal("merge must be deterministic under shard reordering")
+		}
+		if _, err := Unmarshal(encAB); err != nil {
+			t.Fatalf("merged snapshot failed to decode: %v", err)
+		}
+	})
+}
+
 func FuzzSnapshotRoundTrip(f *testing.F) {
 	if data, err := Marshal(buildSnapshot(f)); err == nil {
 		f.Add(data)

@@ -2,9 +2,14 @@
 // core memoization snapshot: the on-disk format that lets a process
 // warm-start from a previous run's Task History Table instead of
 // re-paying the training phase (ROADMAP: warm-start memoization for
-// repeated experiment sweeps).
+// repeated experiment sweeps). Two format versions coexist: version 1
+// (this file) is one whole-table snapshot per file; version 2
+// (chain.go) is an appendable record stream of a full base plus
+// incremental deltas, with Compact and MergeSnapshots to fold chains
+// and combine sweep shards.
 //
-// The format is a length-prefixed little-endian binary layout:
+// The version-1 format is a length-prefixed little-endian binary
+// layout:
 //
 //	[8]  magic "ATMSNAP\x00"
 //	[4]  u32 format version (currently 1)
@@ -442,15 +447,7 @@ func Save(path string, s *core.Snapshot) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return writeAtomic(path, data)
 }
 
 // Load reads and decodes the snapshot at path. A missing file surfaces
