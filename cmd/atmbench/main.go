@@ -53,6 +53,9 @@ func main() {
 		noIKT      = flag.Bool("no-ikt", false, "stats experiment: disable the IKT")
 		batch      = flag.Int("batch", taskrt.DefaultBatchSize, "submission batch size (0 = per-task Submit)")
 		policyStr  = flag.String("policy", "fifo", "scheduling policy: fifo|lifo")
+		det        = flag.Bool("det", false, "run under the deterministic replay executor: single goroutine, schedule drawn from -seed (see docs/determinism.md)")
+		schedStr   = flag.String("sched", "", "deterministic ready-queue discipline: fifo|lifo|random|adversarial (implies -det; default follows -policy)")
+		schedSeed  = flag.Uint64("schedseed", 0, "deterministic replay seed: implies -det and overrides -seed when nonzero")
 		savePath   = flag.String("save", "", "stats/sweep: save the ATM snapshot to this file after the run (suffixed per benchmark when several are selected)")
 		loadPath   = flag.String("load", "", "stats: warm-start the ATM from this snapshot file (suffixed per benchmark when several are selected)")
 		chainPath  = flag.String("chain", "", "stats: incremental chain file — warm-start from it when present and append a delta record of this run's churn (suffixed per benchmark when several are selected)")
@@ -72,6 +75,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	detSched, err := taskrt.ParseDetSched(*schedStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *schedSeed != 0 {
+		*seed = *schedSeed
+		*det = true
+	}
+	if *schedStr != "" {
+		*det = true
+	}
+
 	var scale apps.Scale
 	switch *scaleStr {
 	case "test":
@@ -86,12 +102,14 @@ func main() {
 	}
 
 	opt := harness.Options{
-		Scale:   scale,
-		Workers: *workers,
-		Repeats: *repeats,
-		Seed:    *seed,
-		Policy:  policy,
-		Out:     os.Stdout,
+		Scale:         scale,
+		Workers:       *workers,
+		Repeats:       *repeats,
+		Seed:          *seed,
+		Policy:        policy,
+		Deterministic: *det,
+		DetSched:      detSched,
+		Out:           os.Stdout,
 	}
 	// -batch 0 means per-task Submit (the pre-batching baseline), which
 	// the runtime spells as a negative batch size; 0 would mean "default".
@@ -242,8 +260,11 @@ func runStats(opt harness.Options, mode string, level int, ikt bool, load, save,
 			}
 		}
 		ro := harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy,
+			Deterministic: opt.Deterministic, DetSched: opt.DetSched,
 			SnapshotLoad: bload, SnapshotSave: bsave, SnapshotChain: bchain, SnapshotDeltaEvery: deltaEvery}
-		base := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, harness.Baseline(), harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
+		base := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, harness.Baseline(),
+			harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy,
+				Deterministic: opt.Deterministic, DetSched: opt.DetSched})
 		o := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, spec, ro)
 		if o.SnapshotErr != nil {
 			fmt.Fprintf(os.Stderr, "%s: snapshot: %v\n", name, o.SnapshotErr)

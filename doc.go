@@ -19,6 +19,13 @@
 //     probe, with a map fallback only for foreign regions), and tasks
 //     are carved from slabs that recycle through a bounded free list at
 //     completion fences (Wait/Fence) instead of returning to the GC.
+//     A deterministic replay mode (Config.Deterministic) re-runs any
+//     schedule bit-identically from one seed — every scheduling
+//     decision, yield point and fence timing drawn from a seeded PRNG —
+//     which internal/schedfuzz exploits to fuzz schedules and injected
+//     faults (internal/failpoint) against dependence-order, exactly-
+//     once, memoization and persistence invariants, replaying any
+//     failure from its printed seed (docs/determinism.md).
 //   - internal/core — the ATM engine: Task History Table (ring-buffer
 //     buckets, refcounted entries recycled through a pool), In-flight Key
 //     Table, Jenkins hashing over sampled inputs, and the static /

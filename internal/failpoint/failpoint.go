@@ -1,0 +1,80 @@
+// Package failpoint provides named fault-injection points for tests.
+//
+// Production code calls Inject(name) at a boundary whose failure it
+// wants testable — a persist write, a rename, an external task
+// completion — and proceeds normally when the point is unarmed. Tests
+// arm a point with Enable, typically with a seeded closure so the
+// injected fault sequence replays from the same integer that replays
+// the schedule (internal/schedfuzz drives both from one seed; see
+// docs/determinism.md for the point catalog).
+//
+// The disarmed fast path is a single atomic load, so the points are
+// safe to leave on semi-hot paths. Arming is process-global: tests
+// that enable points must not run in parallel with each other and must
+// disarm them on exit (defer Disable/DisableAll).
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the conventional error returned by injection hooks
+// that do not need a more specific one.
+var ErrInjected = errors.New("failpoint: injected failure")
+
+var (
+	armed atomic.Int32 // number of enabled points; 0 = disarmed fast path
+	mu    sync.Mutex
+	hooks = map[string]func() error{}
+)
+
+// Enable arms the named point: every Inject(name) calls hook and
+// returns its error. A non-nil return injects the fault; nil lets the
+// call proceed (hooks can count calls, fail every Nth, draw from a
+// seeded PRNG, ...). Enabling an already-armed point replaces its hook.
+func Enable(name string, hook func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[name]; !ok {
+		armed.Add(1)
+	}
+	hooks[name] = hook
+}
+
+// Disable disarms the named point.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[name]; ok {
+		delete(hooks, name)
+		armed.Add(-1)
+	}
+}
+
+// DisableAll disarms every point.
+func DisableAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	for name := range hooks {
+		delete(hooks, name)
+		armed.Add(-1)
+	}
+}
+
+// Inject consults the named point. It returns nil when the point is
+// unarmed (the production fast path: one atomic load), otherwise
+// whatever the installed hook returns.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	h := hooks[name]
+	mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h()
+}

@@ -1,0 +1,57 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedInjectIsNil(t *testing.T) {
+	if err := Inject("nobody/armed/this"); err != nil {
+		t.Fatalf("disarmed point injected %v", err)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer DisableAll()
+	calls := 0
+	Enable("p", func() error {
+		calls++
+		if calls == 2 {
+			return ErrInjected
+		}
+		return nil
+	})
+	if err := Inject("p"); err != nil {
+		t.Fatalf("first call injected %v", err)
+	}
+	if err := Inject("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second call returned %v, want ErrInjected", err)
+	}
+	// Other points stay unarmed while p is armed.
+	if err := Inject("q"); err != nil {
+		t.Fatalf("unrelated point injected %v", err)
+	}
+	Disable("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("disabled point injected %v", err)
+	}
+	if got := armed.Load(); got != 0 {
+		t.Fatalf("armed count %d after Disable, want 0", got)
+	}
+}
+
+func TestEnableReplacesHook(t *testing.T) {
+	defer DisableAll()
+	Enable("p", func() error { return nil })
+	Enable("p", func() error { return ErrInjected })
+	if got := armed.Load(); got != 1 {
+		t.Fatalf("armed count %d after re-Enable, want 1", got)
+	}
+	if err := Inject("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("replaced hook returned %v", err)
+	}
+	DisableAll()
+	if got := armed.Load(); got != 0 {
+		t.Fatalf("armed count %d after DisableAll, want 0", got)
+	}
+}

@@ -27,6 +27,12 @@ type Options struct {
 	Batch int
 	// Policy selects the scheduling discipline (FIFO by default).
 	Policy taskrt.SchedPolicy
+	// Deterministic replays every run under taskrt's deterministic
+	// executor seeded by Seed (atmbench -det); timings then measure a
+	// single-goroutine replay, not parallel performance.
+	Deterministic bool
+	// DetSched is the deterministic discipline (atmbench -sched).
+	DetSched taskrt.DetSched
 	// Out receives the report.
 	Out io.Writer
 }
@@ -39,7 +45,8 @@ func (o *Options) names() []string {
 }
 
 func (o *Options) runOpt() RunOptions {
-	return RunOptions{Seed: o.Seed, Batch: o.Batch, Policy: o.Policy}
+	return RunOptions{Seed: o.Seed, Batch: o.Batch, Policy: o.Policy,
+		Deterministic: o.Deterministic, DetSched: o.DetSched}
 }
 
 // Table1 reproduces Table I: benchmark descriptions with measured task
@@ -50,7 +57,9 @@ func Table1(opt Options) {
 	t.row("Benchmark", "TaskInputBytes", "InputKinds", "MemoizedTaskType", "MemoTasks", "AllTasks", "CorrectnessOn")
 	for _, name := range opt.names() {
 		f := FactoryFor(name)
-		o := RunOne(f, opt.Scale, opt.Workers, Dynamic(true), RunOptions{Trace: true, Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
+		ro := opt.runOpt()
+		ro.Trace = true
+		o := RunOne(f, opt.Scale, opt.Workers, Dynamic(true), ro)
 		var memoName string
 		var memoTasks int64
 		for _, ts := range o.Stats.Types {
@@ -340,7 +349,9 @@ func Fig7(opt Options) {
 	fmt.Fprintf(opt.Out, "Fig. 7: Gauss-Seidel trace, ATM state widths at 2 vs %d cores (scale=%s)\n", opt.Workers, opt.Scale)
 	f := FactoryFor("GS")
 	for _, cores := range []int{2, opt.Workers} {
-		o := RunOne(f, opt.Scale, cores, Dynamic(true), RunOptions{Detail: true, Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
+		ro := opt.runOpt()
+		ro.Detail = true
+		o := RunOne(f, opt.Scale, cores, Dynamic(true), ro)
 		fmt.Fprintf(opt.Out, "\n%d cores (elapsed %v):\n", cores, o.Elapsed.Round(time.Millisecond))
 		t := newTable(opt.Out)
 		t.row("Core", "Profile")
@@ -381,7 +392,9 @@ func Fig8(opt Options) {
 	fmt.Fprintf(opt.Out, "Fig. 8: Blackscholes task creation throughput (scale=%s, workers=%d)\n", opt.Scale, opt.Workers)
 	f := FactoryFor("Blackscholes")
 	for _, spec := range []ATMSpec{Dynamic(true), Baseline()} {
-		o := RunOne(f, opt.Scale, opt.Workers, spec, RunOptions{Detail: true, Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
+		ro := opt.runOpt()
+		ro.Detail = true
+		o := RunOne(f, opt.Scale, opt.Workers, spec, ro)
 		fmt.Fprintf(opt.Out, "\n%s (elapsed %v):\n", spec.Name(), o.Elapsed.Round(time.Millisecond))
 		durs := o.Tracer.Durations()
 		t := newTable(opt.Out)
@@ -414,7 +427,9 @@ func Fig8(opt Options) {
 func Fig9(opt Options) {
 	fmt.Fprintf(opt.Out, "Fig. 9: redundancy generation (scale=%s); columns: normalized task id, cumulative reuse\n", opt.Scale)
 	for _, name := range opt.names() {
-		o := RunOne(FactoryFor(name), opt.Scale, opt.Workers, Dynamic(true), RunOptions{Trace: true, Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy})
+		ro := opt.runOpt()
+		ro.Trace = true
+		o := RunOne(FactoryFor(name), opt.Scale, opt.Workers, Dynamic(true), ro)
 		xs, ys := o.Tracer.CumulativeReuse()
 		fmt.Fprintf(opt.Out, "\n%s: %d reuse-generating tasks, reuse %.1f%%\n", name, len(xs), 100*o.Reuse())
 		step := 1

@@ -227,3 +227,44 @@ func TestStateShare(t *testing.T) {
 		t.Fatal("zero durations must render as '-'")
 	}
 }
+
+// TestRunOneDeterministicReproducible pins the harness-level replay
+// guarantee: two runs under the same seed in deterministic mode produce
+// identical memoization statistics — the schedule, and therefore every
+// THT/IKT hit, replays bit-identically.
+func TestRunOneDeterministicReproducible(t *testing.T) {
+	f := FactoryFor("Kmeans")
+	ro := RunOptions{Deterministic: true, Seed: 42}
+	a := RunOne(f, apps.ScaleTest, 4, Dynamic(true), ro)
+	b := RunOne(f, apps.ScaleTest, 4, Dynamic(true), ro)
+	if len(a.Stats.Types) == 0 {
+		t.Fatal("no memoized types")
+	}
+	for i, ts := range a.Stats.Types {
+		us := b.Stats.Types[i]
+		if ts.Tasks != us.Tasks || ts.Executed != us.Executed ||
+			ts.MemoizedTHT != us.MemoizedTHT || ts.MemoizedIKT != us.MemoizedIKT {
+			t.Fatalf("type %s diverged across same-seed det runs: %+v vs %+v", ts.Name, ts, us)
+		}
+	}
+	if a.Stats.THTLookups != b.Stats.THTLookups || a.Stats.THTHits != b.Stats.THTHits {
+		t.Fatalf("THT traffic diverged: %d/%d vs %d/%d",
+			a.Stats.THTHits, a.Stats.THTLookups, b.Stats.THTHits, b.Stats.THTLookups)
+	}
+}
+
+// TestRunOneDeterministicChainSkipsPeriodicSaver pins that deterministic
+// mode suppresses the background delta saver (its rt.Wait may only run on
+// the master goroutine) while the final post-run delta save still lands.
+func TestRunOneDeterministicChainSkipsPeriodicSaver(t *testing.T) {
+	chain := t.TempDir() + "/det.atmchain"
+	ro := RunOptions{Deterministic: true, Seed: 7,
+		SnapshotChain: chain, SnapshotDeltaEvery: time.Millisecond}
+	o := RunOne(FactoryFor("Blackscholes"), apps.ScaleTest, 2, Static(true), ro)
+	if o.SnapshotErr != nil {
+		t.Fatal(o.SnapshotErr)
+	}
+	if o.DeltaSaves != 1 {
+		t.Fatalf("want exactly the final delta save, got %d", o.DeltaSaves)
+	}
+}

@@ -153,6 +153,15 @@ type RunOptions struct {
 	Batch int
 	// Policy selects the scheduling discipline (zero value = FIFO).
 	Policy taskrt.SchedPolicy
+	// Deterministic runs the workload under taskrt's deterministic
+	// executor: every scheduling decision is drawn from Seed, so the same
+	// seed replays the same task interleaving bit-identically (see
+	// docs/determinism.md). Timing from such a run measures a
+	// single-goroutine replay, not parallel performance.
+	Deterministic bool
+	// DetSched is the deterministic ready-queue discipline
+	// (fifo|lifo|random|adversarial; zero value follows Policy).
+	DetSched taskrt.DetSched
 	// SnapshotPath names a warm-start snapshot file: when set (and the
 	// spec enables ATM) the engine is restored from it before the run if
 	// the file exists, and the engine's state is saved back to it after
@@ -252,7 +261,8 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 		}
 		m = memo
 	}
-	rt := taskrt.New(taskrt.Config{Workers: workers, Memoizer: m, Tracer: tr, Policy: opt.Policy, BatchSize: opt.Batch})
+	rt := taskrt.New(taskrt.Config{Workers: workers, Memoizer: m, Tracer: tr, Policy: opt.Policy, BatchSize: opt.Batch,
+		Seed: opt.Seed, Deterministic: opt.Deterministic, DetSched: opt.DetSched})
 
 	// In chain mode every save appends one delta record; file growth is
 	// the honest measure of save cost (it includes record framing).
@@ -286,7 +296,11 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 	}
 	stopSaver := make(chan struct{})
 	var saverWG sync.WaitGroup
-	if chain != "" && opt.SnapshotDeltaEvery > 0 && memo != nil && snapErr == nil {
+	// The periodic saver is incompatible with deterministic mode: each
+	// save quiesces via rt.Wait, which under Config.Deterministic may only
+	// be called from the master goroutine (the run still gets its final
+	// delta save after app.Run returns).
+	if chain != "" && opt.SnapshotDeltaEvery > 0 && memo != nil && snapErr == nil && !opt.Deterministic {
 		saverWG.Add(1)
 		go func() {
 			defer saverWG.Done()

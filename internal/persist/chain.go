@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"atm/internal/core"
+	"atm/internal/failpoint"
 )
 
 // This file defines format version 2, the incremental chain layout: a
@@ -505,17 +506,45 @@ func AppendDelta(path string, d *core.Delta) error {
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		return fail(err)
 	}
+	if err := failpoint.Inject(FailpointAppend); err != nil {
+		return fail(err)
+	}
 	if _, err := f.Write(rec); err != nil {
 		return fail(err)
 	}
 	return f.Close()
 }
 
+// Failpoint names (see internal/failpoint): FailpointWrite fails the
+// temp-file write after the file exists on disk (an ENOSPC/EIO partial
+// write), FailpointRename fails the publishing rename, and
+// FailpointAppend fails AppendDelta's record write before any byte
+// lands. Tests use them to pin the error-path contracts: Save/SaveChain
+// never leave a *.tmp file behind, and a failed append leaves the chain
+// loadable.
+const (
+	FailpointWrite  = "persist.write"
+	FailpointRename = "persist.rename"
+	FailpointAppend = "persist.append"
+)
+
 // writeAtomic writes data to path via a same-directory temp file and
 // rename, so a crash mid-write leaves the previous file (or none).
+// Every error path removes the temp file: a failed write can leave a
+// partial file on disk (ENOSPC, EIO), and leaking it next to the
+// target would accumulate one orphan per failed save.
 func writeAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := failpoint.Inject(FailpointWrite); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := failpoint.Inject(FailpointRename); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {

@@ -1,0 +1,92 @@
+package schedfuzz
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSchedFuzzCorpus sweeps the scenario corpus. Defaults to a small
+// per-scenario seed sweep so the ordinary test run stays fast; CI's
+// schedfuzz-smoke job raises the sweep with -schedseeds, and a failing
+// seed replays with -schedseed (see the failure message).
+func TestSchedFuzzCorpus(t *testing.T) {
+	opts := Options{Seeds: 12}
+	if testing.Short() {
+		opts.Seeds = 4
+	}
+	Run(t, Corpus(), opts)
+}
+
+// TestSchedFuzzRegressionCorpus replays the committed regression seeds
+// (testdata/regression_seeds.txt, "scenario seed" per line): every seed
+// that ever exposed a bug keeps running in the ordinary test run.
+func TestSchedFuzzRegressionCorpus(t *testing.T) {
+	f, err := os.Open("testdata/regression_seeds.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	byName := map[string]Scenario{}
+	for _, sc := range Corpus() {
+		byName[sc.Name] = sc
+	}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			t.Fatalf("regression_seeds.txt:%d: want \"scenario seed\", got %q", line, text)
+		}
+		scenario, ok := byName[fields[0]]
+		if !ok {
+			t.Fatalf("regression_seeds.txt:%d: unknown scenario %q", line, fields[0])
+		}
+		seed, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil || seed == 0 {
+			t.Fatalf("regression_seeds.txt:%d: bad seed %q", line, fields[1])
+		}
+		t.Run(fmt.Sprintf("%s/seed=%d", scenario.Name, seed), func(t *testing.T) {
+			RunSeed(t, scenario, seed)
+		})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedForDeterministic pins the seed → discipline mapping: it must
+// be a pure function of the seed (replays run the same discipline) and
+// never produce DetSchedPolicy (which would leak machine-dependent
+// defaults into the schedule).
+func TestSchedForDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 64; seed++ {
+		a, b := schedFor(seed), schedFor(seed)
+		if a != b {
+			t.Fatalf("seed %d: schedFor not deterministic (%v vs %v)", seed, a, b)
+		}
+		if a.String() == "policy" {
+			t.Fatalf("seed %d mapped to the policy-following discipline", seed)
+		}
+	}
+}
+
+// TestCtxStreamDeterministic pins the scenario-shape stream: equal seeds
+// draw equal sequences, so a replayed seed rebuilds the same scenario.
+func TestCtxStreamDeterministic(t *testing.T) {
+	a := &Ctx{Seed: 9, rng: 9 ^ 0x5eedf00dcafe}
+	b := &Ctx{Seed: 9, rng: 9 ^ 0x5eedf00dcafe}
+	for i := 0; i < 100; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}

@@ -156,6 +156,11 @@ func (rt *Runtime) submitBatch(batch []BatchEntry, dst []*Task) []*Task {
 		}
 		dst = append(dst, t)
 		counts[i] = rt.wire(t, startID)
+		if rt.det != nil {
+			// Yield point: cross-batch predecessors may complete while the
+			// batch is half-carved — the window the npred guard protects.
+			rt.det.maybeYield()
+		}
 		rt.notePayload(t) // internally sampled, 1 in 8
 		if rt.tracer != nil {
 			rt.tracer.TaskCreated()
@@ -169,6 +174,9 @@ func (rt *Runtime) submitBatch(batch []BatchEntry, dst []*Task) []*Task {
 	// batch can be scheduled — or even readied by a racing cross-batch
 	// completion — until the observer returns.
 	if rt.batchObs != nil {
+		if rt.det != nil {
+			rt.det.maybeYield() // completions may land just before the observer
+		}
 		rt.batchObs.OnBatchSubmitted(tasks)
 	}
 
@@ -192,6 +200,12 @@ func (rt *Runtime) submitBatch(batch []BatchEntry, dst []*Task) []*Task {
 		}
 		counts[i] = -1 // consumed
 	}
+	if rt.det != nil {
+		// Yield point between phases 3a and 3b: guarded tasks' cross-batch
+		// predecessors may complete here, decrementing npred while the
+		// guard is still installed.
+		rt.det.maybeYield()
+	}
 	for i, t := range tasks {
 		if counts[i] < 0 {
 			continue
@@ -208,6 +222,9 @@ func (rt *Runtime) submitBatch(batch []BatchEntry, dst []*Task) []*Task {
 		ready[i] = nil // scratch must not pin completed tasks' slabs
 	}
 	rt.batchReady = ready[:0]
+	if rt.det != nil {
+		rt.det.maybeYield() // workers may start the batch before Submit returns
+	}
 
 	if rt.tracer != nil {
 		rt.tracer.SetState(rt.tracer.MasterLane(), trace.StateOther)

@@ -169,8 +169,15 @@ func TestStaleCompleteExternalPanics(t *testing.T) {
 		if p == nil {
 			t.Fatal("CompleteExternal on a fence-retired task did not panic")
 		}
-		if s, ok := p.(string); !ok || !strings.Contains(s, "completion fence") {
+		s, ok := p.(string)
+		if !ok || !strings.Contains(s, "completion fence") {
 			t.Fatalf("unexpected panic: %v", p)
+		}
+		// The message must carry both recycle generations — the slab's
+		// current one and the task's carve-time stamp — so a straggler
+		// report says how far behind the pointer is (here: one fence).
+		if !strings.Contains(s, "generation now 1") || !strings.Contains(s, "carved at generation 0") {
+			t.Fatalf("panic message missing the two recycle generations: %q", s)
 		}
 		rt.Wait()
 	}()

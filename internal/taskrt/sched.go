@@ -221,6 +221,12 @@ func (rt *Runtime) enqueue(t *Task, w int) {
 	if rt.tracer != nil {
 		rt.tracer.RQDepth(int(rt.depth.Add(1)))
 	}
+	if rt.det != nil {
+		// Deterministic mode: one queue, one PRNG — the seeded pick
+		// subsumes deque-vs-injector placement and victim order.
+		rt.det.add(t)
+		return
+	}
 	if rt.priority.Load() {
 		// Prioritized programs funnel every ready task through one
 		// central shard: its per-priority buckets reproduce the old
@@ -267,6 +273,10 @@ func (rt *Runtime) publishBlock(block []*Task) {
 		for range block {
 			rt.tracer.RQDepth(int(rt.depth.Add(1)))
 		}
+	}
+	if rt.det != nil {
+		rt.det.addBlock(block) // seeded publication interleaving
+		return
 	}
 	if rt.priority.Load() {
 		rt.inj[0].pushBlockPrio(block)

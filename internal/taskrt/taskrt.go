@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"atm/internal/failpoint"
 	"atm/internal/region"
 	"atm/internal/trace"
 )
@@ -349,6 +350,22 @@ type Config struct {
 	// sizes the window so the live task graph stays at roughly half the
 	// last-level cache.
 	ThrottleWindow int
+	// Seed seeds every source of scheduling randomness. In live mode it
+	// derives the per-worker steal-scan RNGs, so two runs with the same
+	// seed probe victims in the same order; in deterministic mode it is
+	// the one integer the entire schedule replays from. Zero is a valid
+	// seed (the default stream).
+	Seed uint64
+	// Deterministic replaces the worker pool with a single-threaded
+	// seeded executor: every scheduling decision is drawn from Seed and
+	// the whole run — task order, yield interleavings, fence timing —
+	// replays bit-identically from it. Everything (Submit, Wait, task
+	// bodies, memoizer hooks) then runs on the master goroutine; Workers
+	// only labels lanes. See det.go and docs/determinism.md.
+	Deterministic bool
+	// DetSched selects the deterministic executor's ready-queue
+	// discipline; the zero value follows Policy. Ignored in live mode.
+	DetSched DetSched
 }
 
 // Runtime is a task-dataflow runtime instance.
@@ -406,6 +423,10 @@ type Runtime struct {
 
 	closed atomic.Bool
 	depth  atomic.Int64 // ready-task count, maintained only when tracing
+
+	// det is the deterministic executor, nil in live mode. Every hot-path
+	// integration point is one predictable nil check.
+	det *detExec
 
 	// Victim selection: stealOrder[w] lists worker w's victims with
 	// LLC-sharing workers first (stealSplit[w] is the tier boundary);
@@ -649,15 +670,28 @@ func New(cfg Config) *Runtime {
 	}
 	rt.stealOrder, rt.stealSplit = buildStealOrder(cfg.Workers, tp)
 	rt.wlocal = make([]workerLocal, cfg.Workers)
+	seed := cfg.Seed
 	for w := range rt.wlocal {
-		// Distinct odd seeds per worker for the steal-start xorshift.
-		rt.wlocal[w].rng = uint64(w)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		// Distinct per-worker seeds for the steal-start xorshift, expanded
+		// from Config.Seed so same-seed live runs probe victims in the
+		// same per-scan order (xorshift needs nonzero state).
+		v := splitmix64(&seed)
+		if v == 0 {
+			v = 0x2545f4914f6cdd1d
+		}
+		rt.wlocal[w].rng = v
 	}
 	if b, ok := cfg.Memoizer.(RuntimeBinder); ok {
 		b.BindRuntime(rt)
 	}
 	if bo, ok := cfg.Memoizer.(BatchObserver); ok {
 		rt.batchObs = bo
+	}
+	if cfg.Deterministic {
+		// No worker pool: the seeded executor runs everything on the
+		// master goroutine, pulled by Wait/throttle/yield points.
+		rt.det = newDetExec(rt, cfg.Seed, cfg.DetSched)
+		return rt
 	}
 	rt.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -668,6 +702,17 @@ func New(cfg Config) *Runtime {
 
 // Workers returns the worker count.
 func (rt *Runtime) Workers() int { return rt.workers }
+
+// Submitted returns the number of tasks submitted so far (exactly-once
+// accounting; schedfuzz checks it against Completed after a barrier).
+func (rt *Runtime) Submitted() int64 { return rt.submitted.Load() }
+
+// Completed returns the number of tasks completed so far.
+func (rt *Runtime) Completed() int64 { return rt.completed.Load() }
+
+// Deterministic reports whether the runtime runs the deterministic
+// executor (Config.Deterministic).
+func (rt *Runtime) Deterministic() bool { return rt.det != nil }
 
 // Tracer returns the runtime's tracer (possibly nil).
 func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
@@ -688,6 +733,10 @@ func (rt *Runtime) RegisterType(cfg TypeConfig) *TaskType {
 // above the high watermark, resuming below the low watermark (half).
 func (rt *Runtime) throttle() {
 	if rt.submitted.Load()-rt.completed.Load() < rt.backlogHigh.Load() {
+		return
+	}
+	if rt.det != nil {
+		rt.det.drainBacklog()
 		return
 	}
 	rt.throttleMu.Lock()
@@ -864,6 +913,13 @@ func (rt *Runtime) consumeFence() {
 	if rt.completed.Load() != rt.submitted.Load() {
 		return
 	}
+	if rt.det != nil && rt.det.delayFence() {
+		// Seeded fence-timing exploration: keep the fence pending so slab
+		// retirement lands at a later submission — the late-recycle
+		// schedules that make stale task pointers observable.
+		rt.fencePending.Store(true)
+		return
+	}
 	rt.retireSlabs()
 }
 
@@ -949,6 +1005,11 @@ func (rt *Runtime) wire(t *Task, batchStart uint64) int32 {
 			npred++
 			return
 		}
+		if rt.det != nil {
+			// Yield point: p may complete right here, before registration
+			// even looks at it (the completed-predecessor fast path).
+			rt.det.maybeYield()
+		}
 		cur := p.succ1.Load()
 		if cur == succDone {
 			return // p already completed
@@ -960,6 +1021,12 @@ func (rt *Runtime) wire(t *Task, batchStart uint64) int32 {
 		if !guarded {
 			t.npred.Store(npredGuard)
 			guarded = true
+		}
+		if rt.det != nil {
+			// Yield point: p may complete between the load and the CAS —
+			// the CAS then fails against succDone and the lock path must
+			// observe p.done and drop the edge.
+			rt.det.maybeYield()
 		}
 		if cur == nil && p.succ1.CompareAndSwap(nil, t) {
 			record(p)
@@ -1115,6 +1182,10 @@ func (rt *Runtime) Submit(tt *TaskType, accesses ...Access) *Task {
 	if rt.finalizeWiring(t, npred) {
 		rt.ready(t)
 	}
+	if rt.det != nil {
+		// Yield point: workers may run between consecutive Submit calls.
+		rt.det.maybeYield()
+	}
 
 	if rt.tracer != nil {
 		rt.tracer.SetState(rt.tracer.MasterLane(), trace.StateOther)
@@ -1156,6 +1227,13 @@ func (rt *Runtime) step(t *Task, w int) *Task {
 			rt.tracer.SetState(w, trace.StateExec)
 		}
 		t.typ.cfg.Run(t)
+		if rt.det != nil {
+			// Yield point between the body and OnFinished: a same-key task
+			// pulled here finds the result not yet published and defers on
+			// the IKT — the window OutcomeDeferred exists for, unreachable
+			// in a strictly sequential replay without this yield.
+			rt.det.maybeYield()
+		}
 		rt.memo.OnFinished(t, w)
 	} else {
 		if rt.tracer != nil {
@@ -1178,7 +1256,9 @@ func (rt *Runtime) step(t *Task, w int) *Task {
 func (rt *Runtime) complete(t *Task, w int) *Task {
 	var keep *Task
 	nq := 0
-	handoff := w >= 0 && !rt.priority.Load()
+	// Deterministic mode disables direct handoff: a handed-off successor
+	// would bypass the seeded pick, hardwiring chain order.
+	handoff := w >= 0 && rt.det == nil && !rt.priority.Load()
 	release := func(s *Task) {
 		if s.npred.Add(-1) == 0 {
 			if handoff && keep == nil {
@@ -1239,11 +1319,26 @@ func (rt *Runtime) complete(t *Task, w int) *Task {
 // already re-carved carries the new stamp, and slabs shed straight to
 // the GC by a fence-light submission storm are never retired at all.
 func (rt *Runtime) CompleteExternal(t *Task) {
-	if t.slab != nil && t.slab.gen.Load() != t.sgen {
-		panic("taskrt: CompleteExternal on a task already retired by a completion fence")
+	if err := failpoint.Inject(FailpointCompleteExternal); err != nil {
+		// An armed failpoint drops the completion: the deterministic
+		// executor's stall detector then reports the incomplete task count
+		// and the seed, turning "provider forgot a waiter" into a
+		// replayable failure instead of a hang.
+		return
+	}
+	if t.slab != nil {
+		if g := t.slab.gen.Load(); g != t.sgen {
+			panic(fmt.Sprintf(
+				"taskrt: CompleteExternal on a task already retired by a completion fence (slab recycle generation now %d, task carved at generation %d)",
+				g, t.sgen))
+		}
 	}
 	rt.complete(t, -1)
 }
+
+// FailpointCompleteExternal drops a CompleteExternal call when armed (see
+// internal/failpoint): the injected fault for lost-completion schedules.
+const FailpointCompleteExternal = "taskrt.CompleteExternal"
 
 // Wait blocks until every submitted task has completed (taskwait/barrier)
 // and marks the completion fence: at the master's next submission, every
@@ -1251,6 +1346,13 @@ func (rt *Runtime) CompleteExternal(t *Task) {
 // from Submit/SubmitBatch remain valid after Wait — until that next
 // submission.
 func (rt *Runtime) Wait() {
+	if rt.det != nil {
+		// Deterministic mode: there is no worker pool to wait for — the
+		// master drains the ready queue itself (master goroutine only).
+		rt.det.drain()
+		rt.fencePending.Store(true)
+		return
+	}
 	if rt.completed.Load() == rt.submitted.Load() {
 		rt.fencePending.Store(true)
 		return
