@@ -13,6 +13,7 @@ package atm
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -460,7 +461,9 @@ func BenchmarkWarmStartHit(b *testing.B) {
 // snapshot, because it touches only the churn. The table is bounded
 // (16 buckets x 16 entries, FIFO eviction) so its size is identical
 // and stable under both sub-benchmarks regardless of b.N. Gated in
-// BENCH_5.json.
+// BENCH_5.json — and deliberately codec-only (no file I/O), so the
+// durability discipline (fsync-on-append) cannot skew the gate; the
+// on-disk append cost lives in the ungated BenchmarkChainAppend.
 func BenchmarkDeltaSave(b *testing.B) {
 	const (
 		elems = 1024 // 8 KiB per entry payload
@@ -540,6 +543,66 @@ func BenchmarkDeltaSave(b *testing.B) {
 		}
 		b.ReportMetric(float64(bytes), "save-bytes")
 	})
+}
+
+// BenchmarkChainAppend measures the on-disk cost of appending one
+// delta record to a chain file, synced (the durable default: record
+// fsynced before the success return) and unsynced (SyncOff, the
+// atmbench -nosync path). Ungated: the synced number is dominated by
+// the device's fsync latency, which varies too much across CI runners
+// to gate — the encode-only cost is what BENCH_5.json pins via
+// BenchmarkDeltaSave.
+func BenchmarkChainAppend(b *testing.B) {
+	const (
+		elems = 1024
+		churn = 8
+	)
+	cfg := core.Config{Mode: core.ModeStatic, NBits: 4, M: 16}
+	body := func(task *taskrt.Task) {
+		src, dst := task.Float64s(0), task.Float64s(1)
+		for i := range src {
+			dst[i] = src[i]*1.5 + 2
+		}
+	}
+	memo := core.New(cfg)
+	memo.EnableDeltaTracking()
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "churn", Memoize: true, Run: body})
+	base, err := memo.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < churn; i++ {
+		in := region.NewFloat64(elems)
+		for j := range in.Data {
+			in.Data[j] = float64(i)*0.5 + float64(j)
+		}
+		rt.Submit(tt, taskrt.In(in), taskrt.Out(region.NewFloat64(elems)))
+	}
+	rt.Wait()
+	delta, err := memo.SnapshotDelta()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Close()
+
+	for _, bc := range []struct {
+		name string
+		sync persist.SyncPolicy
+	}{{"synced", persist.SyncAlways}, {"nosync", persist.SyncOff}} {
+		b.Run(bc.name, func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "chain.atmsnap")
+			if err := persist.SaveChainSync(path, base, nil, bc.sync); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := persist.AppendDeltaSync(path, delta, bc.sync); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkMergeSnapshots measures combining four 64-entry shard

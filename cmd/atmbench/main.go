@@ -37,6 +37,7 @@ import (
 
 	"atm/internal/apps"
 	"atm/internal/harness"
+	"atm/internal/persist"
 	"atm/internal/taskrt"
 )
 
@@ -61,8 +62,16 @@ func main() {
 		chainPath  = flag.String("chain", "", "stats: incremental chain file — warm-start from it when present and append a delta record of this run's churn (suffixed per benchmark when several are selected)")
 		deltaEvery = flag.Duration("delta-every", 0, "stats: with -chain, also append a delta record every interval while the run executes")
 		shardDir   = flag.String("shard-dir", "", "shardsweep: directory for the per-shard chain files and the merged snapshot (default: a temp directory)")
+		recoverStr = flag.String("recover", "strict", "damaged-snapshot policy: strict (report, run cold) | salvage (repair torn tails, warm-start the prefix) | cold (discard, run cold)")
+		noSync     = flag.Bool("nosync", false, "skip fsync on snapshot saves (benchmarking only: a crash may lose or tear the most recent saves)")
 	)
 	flag.Parse()
+
+	recoverPolicy, err := harness.ParseRecoverPolicy(*recoverStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var policy taskrt.SchedPolicy
 	switch *policyStr {
@@ -109,7 +118,11 @@ func main() {
 		Policy:        policy,
 		Deterministic: *det,
 		DetSched:      detSched,
+		Recover:       recoverPolicy,
 		Out:           os.Stdout,
+	}
+	if *noSync {
+		opt.Sync = persist.SyncOff
 	}
 	// -batch 0 means per-task Submit (the pre-batching baseline), which
 	// the runtime spells as a negative batch size; 0 would mean "default".
@@ -261,7 +274,8 @@ func runStats(opt harness.Options, mode string, level int, ikt bool, load, save,
 		}
 		ro := harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy,
 			Deterministic: opt.Deterministic, DetSched: opt.DetSched,
-			SnapshotLoad: bload, SnapshotSave: bsave, SnapshotChain: bchain, SnapshotDeltaEvery: deltaEvery}
+			SnapshotLoad: bload, SnapshotSave: bsave, SnapshotChain: bchain, SnapshotDeltaEvery: deltaEvery,
+			Recover: opt.Recover, Sync: opt.Sync}
 		base := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, harness.Baseline(),
 			harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy,
 				Deterministic: opt.Deterministic, DetSched: opt.DetSched})
@@ -273,6 +287,13 @@ func runStats(opt harness.Options, mode string, level int, ikt bool, load, save,
 		start := "cold"
 		if o.WarmStart {
 			start = fmt.Sprintf("warm (%d entries restored)", o.RestoredEntries)
+		}
+		if o.Salvaged {
+			fmt.Printf("%s: salvaged torn snapshot — kept %d records / %d bytes, dropped %d torn bytes\n",
+				name, o.Recovery.RecordsKept, o.Recovery.BytesKept, o.Recovery.BytesTruncated)
+		}
+		if o.ColdFallback {
+			fmt.Printf("%s: damaged snapshot could not warm-start (-recover %s); started cold\n", name, opt.Recover)
 		}
 		if bchain != "" {
 			fmt.Printf("%s: appended %d delta record(s), %d bytes, to %s\n", name, o.DeltaSaves, o.DeltaBytes, bchain)

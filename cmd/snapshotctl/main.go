@@ -3,9 +3,18 @@
 // (docs/persistence.md):
 //
 //	snapshotctl inspect <file>...          summarize header, records and sections
-//	snapshotctl verify <file>...           strict decode; exit 1 on the first bad file
+//	snapshotctl verify <file>...           classify file health (see exit codes)
+//	snapshotctl repair <file>...           truncate torn tails, sweep stale temp files
+//	snapshotctl scrub [-repair] <dir>...   walk shard directories, classify every snapshot
 //	snapshotctl compact -o out <file>...   fold a chain (base + deltas) into one full snapshot
 //	snapshotctl merge -o out <file>...     merge shard snapshots/chains into one warm-start file
+//
+// verify and scrub distinguish outcomes by exit code so recovery
+// scripts can branch without parsing output: 0 every file clean, 2 at
+// least one salvageable torn tail (a crash artifact; `snapshotctl
+// repair` fixes it), 3 at least one unrecoverable file (corruption —
+// restore from a replica or start cold), 1 for I/O errors. Invocation
+// errors also exit 2 but print a usage line to stderr.
 //
 // compact consumes one chain: the first file must carry the base
 // record, later files may be delta-only continuations (a shard's
@@ -20,7 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"atm/internal/core"
 	"atm/internal/persist"
@@ -31,7 +43,7 @@ func main() {
 }
 
 func usage(err io.Writer) int {
-	fmt.Fprintln(err, "usage: snapshotctl <inspect|verify|compact|merge> [-o out] <file>...")
+	fmt.Fprintln(err, "usage: snapshotctl <inspect|verify|repair|scrub|compact|merge> [-o out] [-repair] <file|dir>...")
 	return 2
 }
 
@@ -45,6 +57,10 @@ func run(args []string, out, errw io.Writer) int {
 		return inspect(rest, out, errw)
 	case "verify":
 		return verify(rest, out, errw)
+	case "repair":
+		return repair(rest, out, errw)
+	case "scrub":
+		return scrub(rest, out, errw)
 	case "compact":
 		return fold(rest, out, errw, false)
 	case "merge":
@@ -147,27 +163,188 @@ func snapshotStats(s *core.Snapshot) (entries int, payload int64) {
 	return entries, payload
 }
 
+// Verify/scrub exit codes, also used as per-file severities (a run's
+// exit code is its worst file's).
+const (
+	fileClean         = 0
+	fileIOError       = 1
+	fileTorn          = 2
+	fileUnrecoverable = 3
+)
+
+// classify decides one file's health for verify and scrub: clean,
+// salvageable torn tail, unrecoverable corruption, or unreadable.
+func classify(path string) (code int, base *core.Snapshot, deltas []*core.Delta, rep persist.RecoveryReport, err error) {
+	base, deltas, rep, err = persist.LoadChainSalvage(path)
+	switch {
+	case err == nil && rep.Clean():
+		return fileClean, base, deltas, rep, nil
+	case err == nil:
+		return fileTorn, base, deltas, rep, nil
+	case rep.Reason == "":
+		// No decode ran: the file could not be read at all.
+		return fileIOError, nil, nil, rep, err
+	default:
+		return fileUnrecoverable, nil, nil, rep, err
+	}
+}
+
 func verify(paths []string, out, errw io.Writer) int {
 	if len(paths) == 0 {
 		return usage(errw)
 	}
 	code := 0
 	for _, path := range paths {
-		base, deltas, err := loadFile(path)
-		if err != nil {
+		c, base, deltas, rep, err := classify(path)
+		switch c {
+		case fileClean:
+			entries := 0
+			if base != nil {
+				entries, _ = snapshotStats(base)
+			}
+			for _, d := range deltas {
+				entries += len(d.Entries)
+			}
+			fmt.Fprintf(out, "%s: OK (%d deltas, %d entries)\n", path, len(deltas), entries)
+		case fileTorn:
+			fmt.Fprintf(out, "%s: TORN tail — %d records / %d bytes salvageable, %d bytes torn (%s); run `snapshotctl repair %s`\n",
+				path, rep.RecordsKept, rep.BytesKept, rep.BytesTruncated, rep.Reason, path)
+		default:
 			fmt.Fprintf(errw, "snapshotctl: FAIL %v\n", err)
-			code = 1
-			continue
 		}
-		entries := 0
-		if base != nil {
-			entries, _ = snapshotStats(base)
+		if c > code {
+			code = c
 		}
-		for _, d := range deltas {
-			entries += len(d.Entries)
-		}
-		fmt.Fprintf(out, "%s: OK (%d deltas, %d entries)\n", path, len(deltas), entries)
 	}
+	return code
+}
+
+// repair truncates torn tails back to the last valid record boundary
+// and sweeps stale temp files. Clean files are untouched, unrecoverable
+// files are refused (exit 3) — repair never guesses.
+func repair(paths []string, out, errw io.Writer) int {
+	if len(paths) == 0 {
+		return usage(errw)
+	}
+	code := 0
+	for _, path := range paths {
+		rep, err := persist.RepairChain(path, persist.SyncAlways)
+		c := fileClean
+		switch {
+		case err == nil && rep.Clean():
+			fmt.Fprintf(out, "%s: clean (%d records)\n", path, rep.RecordsKept)
+		case err == nil:
+			fmt.Fprintf(out, "%s: repaired — kept %d records / %d bytes, dropped %d torn bytes (%s)\n",
+				path, rep.RecordsKept, rep.BytesKept, rep.BytesTruncated, rep.Reason)
+		case rep.Reason == "":
+			fmt.Fprintf(errw, "snapshotctl: FAIL %v\n", err)
+			c = fileIOError
+		default:
+			fmt.Fprintf(errw, "snapshotctl: FAIL %v\n", err)
+			c = fileUnrecoverable
+		}
+		if c > code {
+			code = c
+		}
+	}
+	return code
+}
+
+// scrub walks shard directories, sniffs out snapshot files by magic,
+// classifies each, and reports orphaned temp files from crashed saves.
+// With -repair it truncates torn tails and removes the orphans, so a
+// post-crash `snapshotctl scrub -repair <dir>` leaves the whole shard
+// tree clean.
+func scrub(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("snapshotctl scrub", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fix := fs.Bool("repair", false, "repair torn chains and remove orphaned temp files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		return usage(errw)
+	}
+	code := 0
+	worst := func(c int) {
+		if c > code {
+			code = c
+		}
+	}
+	var clean, torn, repaired, unrecoverable, orphans, swept int
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d iofs.DirEntry, err error) error {
+			if err != nil {
+				fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+				worst(fileIOError)
+				return nil
+			}
+			if d.IsDir() {
+				return nil
+			}
+			if strings.HasSuffix(path, ".tmp") {
+				// A temp file next to its target is an unpublished save
+				// from a crashed process; it is never valid state.
+				if *fix {
+					if err := os.Remove(path); err != nil {
+						fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+						worst(fileIOError)
+						return nil
+					}
+					swept++
+					fmt.Fprintf(out, "%s: orphaned temp file removed\n", path)
+				} else {
+					orphans++
+					worst(fileTorn)
+					fmt.Fprintf(out, "%s: orphaned temp file (crashed save); run `snapshotctl scrub -repair`\n", path)
+				}
+				return nil
+			}
+			head := make([]byte, 8)
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+				worst(fileIOError)
+				return nil
+			}
+			n, _ := io.ReadFull(f, head)
+			f.Close()
+			if !persist.HasMagic(head[:n]) {
+				return nil // not a snapshot file
+			}
+			c, _, _, rep, cerr := classify(path)
+			switch c {
+			case fileClean:
+				clean++
+			case fileTorn:
+				if *fix {
+					if _, err := persist.RepairChain(path, persist.SyncAlways); err != nil {
+						fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+						worst(fileIOError)
+						return nil
+					}
+					repaired++
+					fmt.Fprintf(out, "%s: repaired — kept %d records, dropped %d torn bytes\n", path, rep.RecordsKept, rep.BytesTruncated)
+				} else {
+					torn++
+					worst(fileTorn)
+					fmt.Fprintf(out, "%s: TORN tail — %d records salvageable, %d bytes torn\n", path, rep.RecordsKept, rep.BytesTruncated)
+				}
+			default:
+				unrecoverable++
+				worst(c)
+				fmt.Fprintf(errw, "snapshotctl: FAIL %v\n", cerr)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(errw, "snapshotctl: %v\n", err)
+			worst(fileIOError)
+		}
+	}
+	fmt.Fprintf(out, "scrub: %d clean, %d torn, %d repaired, %d unrecoverable, %d orphaned temps, %d swept\n",
+		clean, torn, repaired, unrecoverable, orphans, swept)
 	return code
 }
 

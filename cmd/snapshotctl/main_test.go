@@ -215,3 +215,145 @@ func TestUsageAndUnknownCommand(t *testing.T) {
 		t.Fatal("merge without output/inputs must print usage with code 2")
 	}
 }
+
+// tornChain writes a two-delta chain and returns the path of a copy
+// whose tail is cut mid-record, plus the intact original for reference.
+func tornChain(t *testing.T, dir string) (torn, intact string) {
+	t.Helper()
+	base, d1 := buildShard(t, 0, 3)
+	_, d2 := buildShard(t, 3, 2)
+	intact = filepath.Join(dir, "intact.atmsnap")
+	if err := persist.SaveChain(intact, base, []*core.Delta{d1, d2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(intact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn = filepath.Join(dir, "torn.atmsnap")
+	if err := os.WriteFile(torn, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return torn, intact
+}
+
+// TestVerifyExitCodes pins the recovery-script contract: 0 clean, 2
+// salvageable torn tail, 3 unrecoverable corruption, 1 unreadable —
+// and a multi-file run exits with its worst file's code.
+func TestVerifyExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	torn, intact := tornChain(t, dir)
+
+	if code, out, _ := runCmd(t, "verify", intact); code != 0 || !strings.Contains(out, "OK") {
+		t.Fatalf("clean: code %d, out %s", code, out)
+	}
+	code, out, _ := runCmd(t, "verify", torn)
+	if code != 2 || !strings.Contains(out, "TORN") || !strings.Contains(out, "snapshotctl repair") {
+		t.Fatalf("torn: code %d, out %s", code, out)
+	}
+
+	data, err := os.ReadFile(intact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xff // inside the last record body: CRC trips
+	corrupt := filepath.Join(dir, "corrupt.atmsnap")
+	if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errw := runCmd(t, "verify", corrupt); code != 3 || !strings.Contains(errw, "FAIL") {
+		t.Fatalf("corrupt: code %d, stderr %s", code, errw)
+	}
+
+	if code, _, _ := runCmd(t, "verify", filepath.Join(dir, "absent.atmsnap")); code != 1 {
+		t.Fatalf("unreadable: code %d", code)
+	}
+
+	// Worst file wins: clean + torn + corrupt -> 3.
+	if code, _, _ := runCmd(t, "verify", intact, torn, corrupt); code != 3 {
+		t.Fatalf("mixed: code %d, want 3", code)
+	}
+}
+
+func TestRepairCommand(t *testing.T) {
+	dir := t.TempDir()
+	torn, intact := tornChain(t, dir)
+
+	code, out, errw := runCmd(t, "repair", torn)
+	if code != 0 || !strings.Contains(out, "repaired") {
+		t.Fatalf("repair: code %d, out %s, stderr %s", code, out, errw)
+	}
+	// The repaired file verifies clean and accepts appends (the chain
+	// lost its torn last record but kept everything before it).
+	if code, out, _ := runCmd(t, "verify", torn); code != 0 || !strings.Contains(out, "1 deltas") {
+		t.Fatalf("verify after repair: code %d, out %s", code, out)
+	}
+	// Repairing a clean file is a reported no-op.
+	if code, out, _ := runCmd(t, "repair", intact); code != 0 || !strings.Contains(out, "clean") {
+		t.Fatalf("repair clean: code %d, out %s", code, out)
+	}
+	// Repair refuses corruption.
+	data, err := os.ReadFile(intact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xff
+	corrupt := filepath.Join(dir, "corrupt.atmsnap")
+	if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errw := runCmd(t, "repair", corrupt); code != 3 || !strings.Contains(errw, "FAIL") {
+		t.Fatalf("repair corrupt: code %d, stderr %s", code, errw)
+	}
+	if after, _ := os.ReadFile(corrupt); !bytes.Equal(after, data) {
+		t.Fatal("repair must not modify an unrecoverable file")
+	}
+}
+
+func TestScrubCommand(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "shard0")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	torn, intact := tornChain(t, shard)
+	// An orphaned temp file from a crashed save, and a non-snapshot
+	// bystander file that scrub must leave alone.
+	orphan := intact + ".tmp"
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	readme := filepath.Join(shard, "README.txt")
+	if err := os.WriteFile(readme, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errw := runCmd(t, "scrub", dir)
+	if code != 2 {
+		t.Fatalf("scrub: code %d, out %s, stderr %s", code, out, errw)
+	}
+	if !strings.Contains(out, "1 clean, 1 torn") || !strings.Contains(out, "1 orphaned temps") {
+		t.Fatalf("scrub summary: %s", out)
+	}
+	if strings.Contains(out, "README") {
+		t.Fatalf("scrub must skip non-snapshot files silently:\n%s", out)
+	}
+
+	code, out, errw = runCmd(t, "scrub", "-repair", dir)
+	if code != 0 {
+		t.Fatalf("scrub -repair: code %d, out %s, stderr %s", code, out, errw)
+	}
+	if !strings.Contains(out, "1 repaired") || !strings.Contains(out, "1 swept") {
+		t.Fatalf("scrub -repair summary: %s", out)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("scrub -repair must remove the orphaned temp file")
+	}
+	// Everything now verifies clean; a second scrub is all-clean.
+	if code, out, _ := runCmd(t, "scrub", dir); code != 0 || !strings.Contains(out, "2 clean, 0 torn") {
+		t.Fatalf("post-repair scrub: code %d, out %s", code, out)
+	}
+	if code, _, _ := runCmd(t, "verify", torn, intact); code != 0 {
+		t.Fatalf("post-repair verify: code %d", code)
+	}
+}

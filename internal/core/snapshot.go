@@ -263,6 +263,23 @@ func Restore(cfg Config, snap *Snapshot) (*ATM, error) {
 	return a, nil
 }
 
+// RestoreChain is Restore for a decoded chain: the base is restored
+// and the deltas applied in order, yielding a warm engine whose state
+// is the chain's fold. The engine adopts every part's regions — do not
+// reuse base or deltas afterwards.
+func RestoreChain(cfg Config, base *Snapshot, deltas []*Delta) (*ATM, error) {
+	a, err := Restore(cfg, base)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range deltas {
+		if err := a.ApplyDelta(d); err != nil {
+			return nil, fmt.Errorf("delta %d: %w", i, err)
+		}
+	}
+	return a, nil
+}
+
 // installSection adopts a restored section into a freshly created
 // typeState. Called from stateSlow under typeMu, before the state is
 // published, so no task of the type can race the installation: the

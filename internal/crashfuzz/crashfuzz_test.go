@@ -1,0 +1,77 @@
+package crashfuzz
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCrashFuzzCorpus sweeps the scenario corpus. Defaults to a small
+// per-scenario seed sweep so the ordinary test run stays fast; CI's
+// crashfuzz-smoke job raises the sweep with -crashseeds, and a failing
+// seed replays with -crashseed (see the failure message).
+func TestCrashFuzzCorpus(t *testing.T) {
+	opts := Options{Seeds: 12}
+	if testing.Short() {
+		opts.Seeds = 4
+	}
+	Run(t, Corpus(), opts)
+}
+
+// TestCrashFuzzRegressionCorpus replays the committed regression seeds
+// (testdata/regression_seeds.txt, "scenario seed" per line): every seed
+// that ever exposed a bug keeps running in the ordinary test run.
+func TestCrashFuzzRegressionCorpus(t *testing.T) {
+	f, err := os.Open("testdata/regression_seeds.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	byName := map[string]Scenario{}
+	for _, sc := range Corpus() {
+		byName[sc.Name] = sc
+	}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			t.Fatalf("regression_seeds.txt:%d: want \"scenario seed\", got %q", line, text)
+		}
+		scenario, ok := byName[fields[0]]
+		if !ok {
+			t.Fatalf("regression_seeds.txt:%d: unknown scenario %q", line, fields[0])
+		}
+		seed, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil || seed == 0 {
+			t.Fatalf("regression_seeds.txt:%d: bad seed %q", line, fields[1])
+		}
+		t.Run(fmt.Sprintf("%s/seed=%d", scenario.Name, seed), func(t *testing.T) {
+			RunSeed(t, scenario, seed)
+		})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCtxStreamDeterministic pins the crash-plan stream: equal seeds
+// draw equal sequences, so a replayed seed rebuilds the same workload
+// and the same crash plan.
+func TestCtxStreamDeterministic(t *testing.T) {
+	a := &Ctx{Seed: 9, rng: 9 ^ 0xcafef00dd00d}
+	b := &Ctx{Seed: 9, rng: 9 ^ 0xcafef00dd00d}
+	for i := 0; i < 100; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}

@@ -24,10 +24,19 @@ import (
 // that do not need a more specific one.
 var ErrInjected = errors.New("failpoint: injected failure")
 
+// ErrCrash marks an injected failure as a simulated process crash.
+// Code that would normally clean up after an I/O error (remove a temp
+// file, truncate a torn tail) checks errors.Is(err, ErrCrash) and skips
+// the cleanup a dead process could not have run, so tests observe the
+// exact on-disk image a crash at that point leaves behind
+// (internal/crashfuzz drives its whole corpus through this).
+var ErrCrash = errors.New("failpoint: simulated crash")
+
 var (
 	armed atomic.Int32 // number of enabled points; 0 = disarmed fast path
 	mu    sync.Mutex
 	hooks = map[string]func() error{}
+	parts = map[string]func(total int) (int, error){}
 )
 
 // Enable arms the named point: every Inject(name) calls hook and
@@ -43,12 +52,33 @@ func Enable(name string, hook func() error) {
 	hooks[name] = hook
 }
 
-// Disable disarms the named point.
+// EnablePartial arms the named point with a partial-write hook: a
+// write path that is about to land total bytes consults the hook via
+// InjectPartial and receives (n, err) — it must land exactly the first
+// n bytes and then surface err, modeling a write torn after n bytes
+// (crash, ENOSPC mid-buffer, a torn sector). A nil err with n == total
+// lets the write proceed whole. Enabling replaces any previous partial
+// hook under the name; plain Enable hooks under the same name are
+// consulted only when no partial hook is armed.
+func EnablePartial(name string, hook func(total int) (int, error)) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := parts[name]; !ok {
+		armed.Add(1)
+	}
+	parts[name] = hook
+}
+
+// Disable disarms the named point (both its plain and partial hooks).
 func Disable(name string) {
 	mu.Lock()
 	defer mu.Unlock()
 	if _, ok := hooks[name]; ok {
 		delete(hooks, name)
+		armed.Add(-1)
+	}
+	if _, ok := parts[name]; ok {
+		delete(parts, name)
 		armed.Add(-1)
 	}
 }
@@ -59,6 +89,10 @@ func DisableAll() {
 	defer mu.Unlock()
 	for name := range hooks {
 		delete(hooks, name)
+		armed.Add(-1)
+	}
+	for name := range parts {
+		delete(parts, name)
 		armed.Add(-1)
 	}
 }
@@ -77,4 +111,35 @@ func Inject(name string) error {
 		return nil
 	}
 	return h()
+}
+
+// InjectPartial consults the named point before landing total bytes.
+// Unarmed (the production fast path: one atomic load) it returns
+// (total, nil). An armed partial hook decides how many bytes land and
+// which error surfaces; its n is clamped to [0, total]. A plain Enable
+// hook counts as failing before any byte lands: (0, err) on a non-nil
+// error, (total, nil) otherwise.
+func InjectPartial(name string, total int) (int, error) {
+	if armed.Load() == 0 {
+		return total, nil
+	}
+	mu.Lock()
+	p, h := parts[name], hooks[name]
+	mu.Unlock()
+	if p != nil {
+		n, err := p(total)
+		if n < 0 {
+			n = 0
+		}
+		if n > total {
+			n = total
+		}
+		return n, err
+	}
+	if h != nil {
+		if err := h(); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"atm/internal/apps"
+	"atm/internal/persist"
 	"atm/internal/taskrt"
 	"atm/internal/trace"
 )
@@ -33,6 +34,12 @@ type Options struct {
 	Deterministic bool
 	// DetSched is the deterministic discipline (atmbench -sched).
 	DetSched taskrt.DetSched
+	// Recover is the damaged-snapshot policy for every run of the
+	// experiment (atmbench -recover).
+	Recover RecoverPolicy
+	// Sync is the snapshot-save durability policy (atmbench -nosync
+	// maps to persist.SyncOff).
+	Sync persist.SyncPolicy
 	// Out receives the report.
 	Out io.Writer
 }
@@ -46,7 +53,7 @@ func (o *Options) names() []string {
 
 func (o *Options) runOpt() RunOptions {
 	return RunOptions{Seed: o.Seed, Batch: o.Batch, Policy: o.Policy,
-		Deterministic: o.Deterministic, DetSched: o.DetSched}
+		Deterministic: o.Deterministic, DetSched: o.DetSched, Recover: o.Recover, Sync: o.Sync}
 }
 
 // Table1 reproduces Table I: benchmark descriptions with measured task

@@ -123,6 +123,21 @@ type Outcome struct {
 	// sublinear in table size when inter-save churn is small.
 	DeltaSaves int
 	DeltaBytes int64
+	// Salvaged reports that the snapshot file had a torn tail (a crash
+	// artifact) that RecoverSalvage truncated away before warm-starting;
+	// Recovery describes what was kept and dropped. ColdFallback reports
+	// that a damaged file could not warm-start under the policy and the
+	// run started cold instead (RecoverCold on any damage, or
+	// RecoverSalvage on unrecoverable corruption).
+	Salvaged     bool
+	ColdFallback bool
+	Recovery     persist.RecoveryReport
+	// SaverRetries counts delta-save attempts that failed and were
+	// retried (bounded, exponential backoff); SaverFailures counts
+	// saves abandoned after the retry budget — each such failure also
+	// sets SnapshotErr and stops further saves.
+	SaverRetries  int
+	SaverFailures int
 }
 
 // Reuse returns the run's overall memoized-task fraction.
@@ -136,6 +151,57 @@ func (o Outcome) THTHitRatio() float64 {
 		return 0
 	}
 	return float64(o.Stats.THTHits) / float64(o.Stats.THTLookups)
+}
+
+// RecoverPolicy decides what a run does when its snapshot or chain
+// file turns out damaged — torn by a crash mid-save, or corrupt. The
+// matrix is documented in docs/persistence.md; snapshots are caches,
+// so every policy still produces a correct run, they differ only in
+// how much warm state survives and whether the damage is surfaced.
+type RecoverPolicy int
+
+const (
+	// RecoverStrict (the default) treats any damaged file as an error:
+	// the run proceeds cold, the failure lands in Outcome.SnapshotErr,
+	// and the file is left untouched for inspection and repair
+	// (snapshotctl verify/repair).
+	RecoverStrict RecoverPolicy = iota
+	// RecoverSalvage repairs a torn tail in place — truncating to the
+	// last valid record boundary, exactly `snapshotctl repair` — and
+	// warm-starts from the salvaged prefix. Unrecoverable damage
+	// degrades to a cold start as under RecoverCold.
+	RecoverSalvage
+	// RecoverCold discards any damaged file and starts cold, letting
+	// the run recreate the chain from scratch: maximum availability, no
+	// salvage attempt, nothing surfaced in SnapshotErr.
+	RecoverCold
+)
+
+// String renders the policy as atmbench's -recover flag spells it.
+func (p RecoverPolicy) String() string {
+	switch p {
+	case RecoverSalvage:
+		return "salvage"
+	case RecoverCold:
+		return "cold"
+	default:
+		return "strict"
+	}
+}
+
+// ParseRecoverPolicy parses atmbench's -recover flag value; the empty
+// string is the strict default.
+func ParseRecoverPolicy(s string) (RecoverPolicy, error) {
+	switch s {
+	case "", "strict":
+		return RecoverStrict, nil
+	case "salvage":
+		return RecoverSalvage, nil
+	case "cold":
+		return RecoverCold, nil
+	default:
+		return 0, fmt.Errorf("unknown recover policy %q (strict|salvage|cold)", s)
+	}
 }
 
 // RunOptions tune a single run.
@@ -186,6 +252,14 @@ type RunOptions struct {
 	// scenario, where warm state must survive a crash mid-run. Each
 	// periodic save quiesces through the runtime's completion fence.
 	SnapshotDeltaEvery time.Duration
+	// Recover selects the reaction to a damaged snapshot or chain file
+	// (strict error / salvage torn tails / cold fallback).
+	Recover RecoverPolicy
+	// Sync is the durability policy for this run's snapshot saves:
+	// persist.SyncAlways (the zero value) fsyncs every save as a
+	// crash-consistent service should; persist.SyncOff is for
+	// benchmarks that must not measure fsync latency.
+	Sync persist.SyncPolicy
 }
 
 // snapshotPaths resolves the effective load/save paths and whether a
@@ -216,6 +290,8 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 	var m taskrt.Memoizer
 	var snapErr error
 	warm := false
+	var salvaged, coldFB bool
+	var recovery persist.RecoveryReport
 	load, save, loadOptional := opt.snapshotPaths()
 	chain := opt.SnapshotChain
 	if spec.Enabled {
@@ -223,7 +299,7 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 		if chain != "" {
 			// Incremental chain mode supersedes the whole-table paths.
 			load, save = "", ""
-			memo, warm, snapErr = restoreChain(cfg, chain, true)
+			memo, warm, salvaged, coldFB, recovery, snapErr = recoverChain(cfg, chain, opt.Recover, opt.Sync)
 			if snapErr != nil && errors.Is(snapErr, os.ErrNotExist) {
 				snapErr = nil // cold start: this repetition creates the chain
 			}
@@ -236,12 +312,13 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 				memo.EnableDeltaTracking()
 			}
 			if !warm && snapErr == nil {
-				// First repetition: create the chain file, its base
-				// holding this engine's (empty) pre-run state, so the
-				// post-run saves below can append O(churn) delta records.
+				// First repetition (or cold fallback): create the chain
+				// file, its base holding this engine's (empty) pre-run
+				// state, so the post-run saves below can append O(churn)
+				// delta records.
 				if snap, err := memo.Snapshot(); err != nil {
 					snapErr = err
-				} else if err := persist.SaveChain(chain, snap, nil); err != nil {
+				} else if err := persist.SaveChainSync(chain, snap, nil, opt.Sync); err != nil {
 					snapErr = err
 				}
 				if snapErr != nil {
@@ -252,8 +329,31 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 			// Chain-aware load: a v1 whole-table snapshot, a merged
 			// shard file, or a full v2 chain all warm-start here.
 			memo, warm, snapErr = restoreChain(cfg, load, false)
-			if loadOptional && snapErr != nil && errors.Is(snapErr, os.ErrNotExist) {
-				snapErr = nil // cold start: the sweep's first repetition
+			switch {
+			case snapErr == nil:
+			case errors.Is(snapErr, os.ErrNotExist):
+				if loadOptional {
+					snapErr = nil // cold start: the sweep's first repetition
+				}
+			case opt.Recover == RecoverStrict:
+				// The damage stays in SnapshotErr; the run proceeds cold.
+			default:
+				if opt.Recover == RecoverSalvage {
+					// The load path may be a shared input (-load): salvage
+					// in memory, never mutate the file.
+					if b, ds, rep, lerr := persist.LoadChainSalvage(load); lerr == nil && b != nil {
+						if warmed, rerr := core.RestoreChain(cfg, b, ds); rerr == nil {
+							memo, warm, snapErr = warmed, true, nil
+							salvaged, recovery = !rep.Clean(), rep
+						}
+					}
+				}
+				if snapErr != nil {
+					// Unrecoverable (or config skew): degrade to a cold
+					// run instead of surfacing an error.
+					snapErr = nil
+					coldFB = true
+				}
 			}
 		}
 		if memo == nil {
@@ -266,7 +366,7 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 
 	// In chain mode every save appends one delta record; file growth is
 	// the honest measure of save cost (it includes record framing).
-	var deltaSaves int
+	var deltaSaves, saverRetries, saverFailures int
 	var deltaBytes int64
 	appendDelta := func() {
 		if snapErr != nil {
@@ -284,10 +384,27 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 		if pre, err := os.Stat(chain); err == nil {
 			preSize = pre.Size()
 		}
-		if err := persist.AppendDelta(chain, d); err != nil {
-			snapErr = err
-			memo.DisableDeltaTracking()
-			return
+		// Bounded retry with exponential backoff: transient I/O failures
+		// (ENOSPC racing a cleaner, a blip on network storage) must not
+		// permanently stop a long-lived service's saves. The retry is
+		// safe because a failed append truncates itself back to the
+		// record boundary (persist.AppendDeltaSync), so a retry can
+		// never double-append. After the budget the save is abandoned:
+		// SnapshotErr is set and delta tracking stops, since nothing
+		// will drain the insert log.
+		for attempt := 0; ; attempt++ {
+			err = persist.AppendDeltaSync(chain, d, opt.Sync)
+			if err == nil {
+				break
+			}
+			if attempt+1 >= saverMaxAttempts {
+				saverFailures++
+				snapErr = err
+				memo.DisableDeltaTracking()
+				return
+			}
+			saverRetries++
+			time.Sleep(saverBackoffBase << attempt)
 		}
 		if post, err := os.Stat(chain); err == nil && preSize >= 0 {
 			deltaBytes += post.Size() - preSize
@@ -339,14 +456,57 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 		case save != "" && snapErr == nil:
 			if snap, err := memo.Snapshot(); err != nil {
 				snapErr = err
-			} else if err := persist.Save(save, snap); err != nil {
+			} else if err := persist.SaveSync(save, snap, opt.Sync); err != nil {
 				snapErr = err
 			}
 		}
 	}
 	out.SnapshotErr = snapErr
 	out.DeltaSaves, out.DeltaBytes = deltaSaves, deltaBytes
+	out.Salvaged, out.ColdFallback, out.Recovery = salvaged, coldFB, recovery
+	out.SaverRetries, out.SaverFailures = saverRetries, saverFailures
 	return out
+}
+
+// Delta-saver retry tuning. Vars, not consts, so tests can shrink the
+// backoff; production code never mutates them.
+var (
+	saverMaxAttempts = 3
+	saverBackoffBase = 25 * time.Millisecond
+)
+
+// recoverChain is restoreChain under a recovery policy: it decides
+// whether a damaged chain file becomes a reported error (strict), a
+// repaired warm start (salvage), or a discarded file and cold start
+// (cold). A missing file always surfaces as os.ErrNotExist — the
+// ordinary first-repetition cold start, never a fallback.
+func recoverChain(cfg core.Config, path string, policy RecoverPolicy, sync persist.SyncPolicy) (memo *core.ATM, warm, salvaged, cold bool, rep persist.RecoveryReport, err error) {
+	memo, warm, err = restoreChain(cfg, path, true)
+	if err == nil || errors.Is(err, os.ErrNotExist) || policy == RecoverStrict {
+		return memo, warm, false, false, rep, err
+	}
+	if policy == RecoverSalvage {
+		// Repair first — truncate the torn tail on disk — because this
+		// chain will be appended to: records landing after torn bytes
+		// would be unreachable. Then reload strictly.
+		rrep, rerr := persist.RepairChain(path, sync)
+		rep = rrep
+		if rerr == nil {
+			if m, w, lerr := restoreChain(cfg, path, true); lerr == nil {
+				return m, w, !rrep.Clean(), false, rrep, nil
+			}
+		}
+		// Unrecoverable (or repaired yet still unloadable — e.g. config
+		// skew): degrade to cold like RecoverCold.
+	}
+	// Cold fallback: discard the damaged file (and any stale temp) so
+	// this run recreates the chain from scratch. A snapshot is a cache;
+	// availability beats preserving a file no policy can load.
+	persist.RemoveStaleTemp(path)
+	if rmErr := os.Remove(path); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+		return nil, false, false, false, rep, rmErr
+	}
+	return nil, false, false, true, rep, nil
 }
 
 // restoreChain loads a snapshot file of either format version and
@@ -367,14 +527,9 @@ func restoreChain(cfg core.Config, path string, requireBase bool) (*core.ATM, bo
 		}
 		return nil, false, fmt.Errorf("%s: snapshot has no base record", path)
 	}
-	memo, err := core.Restore(cfg, base)
+	memo, err := core.RestoreChain(cfg, base, deltas)
 	if err != nil {
-		return nil, false, err
-	}
-	for i, d := range deltas {
-		if err := memo.ApplyDelta(d); err != nil {
-			return nil, false, fmt.Errorf("%s: delta %d: %w", path, i, err)
-		}
+		return nil, false, fmt.Errorf("%s: %w", path, err)
 	}
 	return memo, true, nil
 }

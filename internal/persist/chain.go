@@ -53,7 +53,9 @@ import (
 // shorter chain. That is the price of O(delta) appends (no up-front
 // record count to rewrite); a snapshot is a cache, and a chain missing
 // its newest deltas merely restores less warm state. A tear anywhere
-// inside a record is rejected.
+// inside a record is rejected by UnmarshalChain; SalvageChain
+// (salvage.go) truncates such a torn tail back to the last valid
+// record boundary instead of discarding the file.
 
 // Version2 is the incremental chain format version.
 const Version2 = 2
@@ -220,68 +222,92 @@ func appendDeltaBody(body []byte, d *core.Delta) ([]byte, error) {
 // comment for the one record-boundary caveat). The returned base is
 // nil for a delta-only file.
 func UnmarshalChain(data []byte) (*core.Snapshot, []*core.Delta, error) {
-	d := &decoder{data: data}
-	head, err := d.need(8)
+	base, deltas, _, _, err := scanChain(data)
 	if err != nil {
 		return nil, nil, err
-	}
-	if [8]byte(head) != magic {
-		return nil, nil, ErrBadMagic
-	}
-	ver, err := d.u32()
-	if err != nil {
-		return nil, nil, err
-	}
-	if ver != Version2 {
-		return nil, nil, fmt.Errorf("%w: file version %d, want chain version %d", ErrVersion, ver, Version2)
-	}
-	fp, err := d.u64()
-	if err != nil {
-		return nil, nil, err
-	}
-	var base *core.Snapshot
-	var deltas []*core.Delta
-	for rec := 0; d.remaining() > 0; rec++ {
-		kind, err := d.u8()
-		if err != nil {
-			return nil, nil, err
-		}
-		blen, err := d.u32()
-		if err != nil {
-			return nil, nil, err
-		}
-		body, err := d.need(int(blen))
-		if err != nil {
-			return nil, nil, err
-		}
-		sum, err := d.u32()
-		if err != nil {
-			return nil, nil, err
-		}
-		if crc32.ChecksumIEEE(body) != sum {
-			return nil, nil, fmt.Errorf("%w: record %d CRC mismatch", ErrCorrupt, rec)
-		}
-		switch kind {
-		case recordBase:
-			if rec != 0 {
-				return nil, nil, fmt.Errorf("%w: base record at position %d (must be first)", ErrCorrupt, rec)
-			}
-			base, err = decodeBaseBody(body, fp)
-		case recordDelta:
-			var dl *core.Delta
-			dl, err = decodeDeltaBody(body, fp)
-			deltas = append(deltas, dl)
-		default:
-			return nil, nil, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
-		}
-		if err != nil {
-			return nil, nil, fmt.Errorf("record %d: %w", rec, err)
-		}
 	}
 	if base == nil && len(deltas) == 0 {
 		return nil, nil, fmt.Errorf("%w: chain with no records", ErrCorrupt)
 	}
 	return base, deltas, nil
+}
+
+// scanChain is the greedy record-stream parser behind UnmarshalChain
+// and SalvageChain: it decodes records until the stream ends or the
+// first failure, returning the decoded prefix, the byte offset just
+// past its last valid record (the salvage boundary), and whether the
+// failure was a torn tail — the remaining bytes ran out mid-record, so
+// everything present is consistent with a valid longer file — as
+// opposed to corruption (a CRC mismatch, an invalid enum or index, a
+// misplaced record) inside bytes that are all there. Header failures
+// are never torn: without magic, version and fingerprint nothing is
+// salvageable.
+func scanChain(data []byte) (base *core.Snapshot, deltas []*core.Delta, boundary int, torn bool, err error) {
+	d := &decoder{data: data}
+	head, err := d.need(8)
+	if err != nil {
+		return nil, nil, 0, false, err
+	}
+	if [8]byte(head) != magic {
+		return nil, nil, 0, false, ErrBadMagic
+	}
+	ver, err := d.u32()
+	if err != nil {
+		return nil, nil, 0, false, err
+	}
+	if ver != Version2 {
+		return nil, nil, 0, false, fmt.Errorf("%w: file version %d, want chain version %d", ErrVersion, ver, Version2)
+	}
+	fp, err := d.u64()
+	if err != nil {
+		return nil, nil, 0, false, err
+	}
+	boundary = d.off
+	for rec := 0; d.remaining() > 0; rec++ {
+		// Framing: a failure here hit EOF inside the record — a torn
+		// tail, the valid prefix before it intact.
+		kind, err := d.u8()
+		if err != nil {
+			return base, deltas, boundary, true, err
+		}
+		blen, err := d.u32()
+		if err != nil {
+			return base, deltas, boundary, true, err
+		}
+		body, err := d.need(int(blen))
+		if err != nil {
+			return base, deltas, boundary, true, err
+		}
+		sum, err := d.u32()
+		if err != nil {
+			return base, deltas, boundary, true, err
+		}
+		// The record's bytes are all present: any failure from here on
+		// means the file is wrong, not merely cut short.
+		if crc32.ChecksumIEEE(body) != sum {
+			return base, deltas, boundary, false, fmt.Errorf("%w: record %d CRC mismatch", ErrCorrupt, rec)
+		}
+		switch kind {
+		case recordBase:
+			if rec != 0 {
+				return base, deltas, boundary, false, fmt.Errorf("%w: base record at position %d (must be first)", ErrCorrupt, rec)
+			}
+			base, err = decodeBaseBody(body, fp)
+		case recordDelta:
+			var dl *core.Delta
+			dl, err = decodeDeltaBody(body, fp)
+			if err == nil {
+				deltas = append(deltas, dl)
+			}
+		default:
+			return base, deltas, boundary, false, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+		}
+		if err != nil {
+			return base, deltas, boundary, false, fmt.Errorf("record %d: %w", rec, err)
+		}
+		boundary = d.off
+	}
+	return base, deltas, boundary, false, nil
 }
 
 func decodeBaseBody(body []byte, fp uint64) (*core.Snapshot, error) {
@@ -420,14 +446,20 @@ func decodeDeltaBody(body []byte, fp uint64) (*core.Delta, error) {
 	return dl, nil
 }
 
-// SaveChain writes a chain atomically (same-directory temp file +
-// rename, like Save).
+// SaveChain writes a chain atomically and durably (same-directory temp
+// file + fsync + rename + directory fsync, like Save). SaveChainSync
+// takes the SyncPolicy explicitly.
 func SaveChain(path string, base *core.Snapshot, deltas []*core.Delta) error {
+	return SaveChainSync(path, base, deltas, SyncAlways)
+}
+
+// SaveChainSync is SaveChain under an explicit durability policy.
+func SaveChainSync(path string, base *core.Snapshot, deltas []*core.Delta, sync SyncPolicy) error {
 	data, err := MarshalChain(base, deltas)
 	if err != nil {
 		return err
 	}
-	return writeAtomic(path, data)
+	return writeAtomic(path, data, sync)
 }
 
 // LoadChain reads a snapshot file of either version: a version-1 full
@@ -465,17 +497,25 @@ func LoadChain(path string) (*core.Snapshot, []*core.Delta, error) {
 // file in O(delta) I/O — the incremental save that keeps per-save cost
 // proportional to the churn. The file's header (magic, version,
 // fingerprint) is verified first; the body is not re-read. The append
-// is a single write of a CRC-framed record: a crash mid-append leaves
-// a torn tail that LoadChain rejects as a whole — delete the file (or
-// restore from a shard copy) and run cold, exactly the cache
-// discipline of docs/persistence.md.
+// is a single write of a CRC-framed record, fsynced before return
+// under SyncAlways. A write that fails partway is truncated back to
+// the pre-append length, so a live I/O error never leaves a torn tail;
+// a crash mid-append does, and that tail is exactly what SalvageChain
+// truncates away — recovery keeps every record up to the tear instead
+// of discarding the file (docs/persistence.md). AppendDeltaSync takes
+// the SyncPolicy explicitly.
 func AppendDelta(path string, d *core.Delta) error {
+	return AppendDeltaSync(path, d, SyncAlways)
+}
+
+// AppendDeltaSync is AppendDelta under an explicit durability policy.
+func AppendDeltaSync(path string, d *core.Delta, sync SyncPolicy) error {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return err
 	}
 	// Closed explicitly on every path: the success-path Close error is
-	// the only signal that flushing the appended record failed.
+	// part of the flush signal for the appended record.
 	fail := func(err error) error {
 		f.Close()
 		return err
@@ -503,53 +543,36 @@ func AppendDelta(path string, d *core.Delta) error {
 	if err != nil {
 		return fail(err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		return fail(err)
 	}
-	if err := failpoint.Inject(FailpointAppend); err != nil {
-		return fail(err)
+	n, werr := failpoint.InjectPartial(FailpointAppend, len(rec))
+	if _, err := f.Write(rec[:n]); err != nil && werr == nil {
+		werr = err
 	}
-	if _, err := f.Write(rec); err != nil {
-		return fail(err)
+	if werr != nil {
+		// Undo the partial append so the caller may simply retry; after
+		// a simulated crash there is no process left to truncate, which
+		// is the torn tail the salvage path exists for.
+		if !crashed(werr) {
+			f.Truncate(end)
+		}
+		return fail(werr)
+	}
+	if sync == SyncAlways {
+		if err := failpoint.Inject(FailpointSync); err != nil {
+			if !crashed(err) {
+				f.Truncate(end)
+			}
+			return fail(err)
+		}
+		if err := f.Sync(); err != nil {
+			// The record landed but its durability is unknown; back it
+			// out so a retry cannot append it twice.
+			f.Truncate(end)
+			return fail(err)
+		}
 	}
 	return f.Close()
-}
-
-// Failpoint names (see internal/failpoint): FailpointWrite fails the
-// temp-file write after the file exists on disk (an ENOSPC/EIO partial
-// write), FailpointRename fails the publishing rename, and
-// FailpointAppend fails AppendDelta's record write before any byte
-// lands. Tests use them to pin the error-path contracts: Save/SaveChain
-// never leave a *.tmp file behind, and a failed append leaves the chain
-// loadable.
-const (
-	FailpointWrite  = "persist.write"
-	FailpointRename = "persist.rename"
-	FailpointAppend = "persist.append"
-)
-
-// writeAtomic writes data to path via a same-directory temp file and
-// rename, so a crash mid-write leaves the previous file (or none).
-// Every error path removes the temp file: a failed write can leave a
-// partial file on disk (ENOSPC, EIO), and leaking it next to the
-// target would accumulate one orphan per failed save.
-func writeAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := failpoint.Inject(FailpointWrite); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := failpoint.Inject(FailpointRename); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
 }

@@ -44,9 +44,33 @@ func FuzzDeltaChainDecode(f *testing.F) {
 	f.Add([]byte("ATMSNAP\x00junk"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Salvage invariants hold for every input, accepted or not:
+		// SalvageChain never panics, and whatever it keeps re-encodes
+		// to exactly the bytes it reported keeping — salvage is a
+		// truncation to a valid prefix, never a rewrite.
+		sb, sds, rep, serr := SalvageChain(data)
+		if serr == nil {
+			if rep.BytesKept+rep.BytesTruncated != int64(len(data)) {
+				t.Fatalf("salvage report does not partition the input: %+v of %d bytes", rep, len(data))
+			}
+			senc, err := MarshalChain(sb, sds)
+			if err != nil {
+				t.Fatalf("salvaged chain failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(senc, data[:rep.BytesKept]) {
+				t.Fatal("salvaged prefix must be canonical: encode(salvage(b)) != b[:BytesKept]")
+			}
+		}
+
 		b, ds, err := UnmarshalChain(data)
 		if err != nil {
+			if serr == nil && rep.Clean() {
+				t.Fatalf("salvage called a strictly-rejected chain clean: %v", err)
+			}
 			return // rejected: fine, as long as we did not panic
+		}
+		if serr != nil || !rep.Clean() {
+			t.Fatalf("strictly-accepted chain must salvage clean: %v (%+v)", serr, rep)
 		}
 		enc, err := MarshalChain(b, ds)
 		if err != nil {

@@ -37,6 +37,15 @@
 // panic and never a silently mis-decoded snapshot. Version or
 // fingerprint skew therefore degrades a warm start into a cold one
 // with a diagnosable error, not into wrong hits.
+//
+// Writes are crash-consistent (docs/persistence.md): whole-table saves
+// publish through an fsynced temp file + rename + parent-directory
+// sync, delta appends fsync the record and self-truncate on any live
+// failure so a retry never double-appends, and a torn tail left by a
+// real crash is recovered by SalvageChain/RepairChain, which truncate
+// to the last valid CRC-framed record boundary — salvage recovers from
+// missing bytes, never wrong ones. SyncPolicy (SyncAlways/SyncOff)
+// trades that durability for throughput per call site.
 package persist
 
 import (
@@ -59,6 +68,13 @@ const Version = 1
 // magic identifies a snapshot file. The trailing NUL guards against
 // text files that happen to start with the same letters.
 var magic = [8]byte{'A', 'T', 'M', 'S', 'N', 'A', 'P', 0}
+
+// HasMagic reports whether data begins with the snapshot file
+// signature — the sniff directory-scrub tooling uses to pick snapshot
+// files out of a mixed directory without decoding them.
+func HasMagic(data []byte) bool {
+	return len(data) >= len(magic) && [8]byte(data[:8]) == magic
+}
 
 // Typed decode errors. Decode wraps them with positional detail; test
 // with errors.Is.
@@ -442,12 +458,19 @@ func decodeRegion(d *decoder) (region.Region, error) {
 // rename, so a crash mid-write leaves the previous snapshot (or no
 // file) rather than a truncated one — Load's strict decode would
 // reject the torn file anyway, but the rename keeps the warm state.
+// The write is durable (fsync before rename, directory fsync after);
+// SaveSync takes the SyncPolicy explicitly.
 func Save(path string, s *core.Snapshot) error {
+	return SaveSync(path, s, SyncAlways)
+}
+
+// SaveSync is Save under an explicit durability policy.
+func SaveSync(path string, s *core.Snapshot, sync SyncPolicy) error {
 	data, err := Marshal(s)
 	if err != nil {
 		return err
 	}
-	return writeAtomic(path, data)
+	return writeAtomic(path, data, sync)
 }
 
 // Load reads and decodes the snapshot at path. A missing file surfaces
