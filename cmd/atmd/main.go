@@ -1,0 +1,153 @@
+// Command atmd serves the ATM engine as a network memoization service:
+// an HTTP front-end (docs/service.md) over the service engine's
+// coalescing master loop, with the harness's warm-start / delta-chain /
+// recovery-policy persistence behind it.
+//
+//	atmd -addr :8080 -workers 8 -mode dynamic
+//	atmd -chain warm.atmchain -delta-every 30s -recover salvage
+//	atmd -backlog 64        # fixed admission watermark (overload testing)
+//
+// Routes: POST /v1/submit, GET /v1/lookup, POST /v1/snapshot,
+// GET /v1/stats, GET /metrics (Prometheus), GET /healthz. Load past the
+// admission watermark is shed with 429 + Retry-After. SIGINT/SIGTERM
+// drain the server and run a final snapshot save when persistence is
+// configured.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"atm/internal/harness"
+	"atm/internal/persist"
+	"atm/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = flag.Int("workers", 0, "task-runtime workers (0 = GOMAXPROCS)")
+		mode       = flag.String("mode", "dynamic", "memoization mode: baseline|static|dynamic|fixed")
+		level      = flag.Int("level", 15, "p level for -mode fixed")
+		noIKT      = flag.Bool("no-ikt", false, "disable the In-flight Key Table")
+		coalesce   = flag.Int("coalesce", 0, "max tasks folded into one engine batch (0 = 512)")
+		backlog    = flag.Int("backlog", 0, "fixed admission watermark in tasks (0 = adaptive LLC-sized)")
+		resetEvery = flag.Int("reset-every", 0, "engine batches between runtime resets (0 = 64)")
+		seed       = flag.Uint64("seed", 0, "ATM shuffle-plan seed")
+		snapshot   = flag.String("snapshot", "", "whole-table snapshot file: warm-start from it when present, save back on shutdown/snapshot requests")
+		loadPath   = flag.String("load", "", "whole-table warm-start file (overrides -snapshot's load half)")
+		savePath   = flag.String("save", "", "whole-table save file (overrides -snapshot's save half)")
+		chainPath  = flag.String("chain", "", "incremental chain file: warm-start from it and append delta records on saves (supersedes the whole-table flags)")
+		deltaEvery = flag.Duration("delta-every", 0, "also save a snapshot every interval")
+		recoverStr = flag.String("recover", "strict", "damaged-snapshot policy: strict|salvage|cold")
+		noSync     = flag.Bool("nosync", false, "skip fsync on snapshot saves (a crash may lose or tear the most recent saves)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	recoverPolicy, err := harness.ParseRecoverPolicy(*recoverStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	spec := harness.ATMSpec{}
+	switch *mode {
+	case "baseline", "off":
+		// No memoization: every task executes (for A/B load tests).
+	case "static":
+		spec = harness.Static(!*noIKT)
+	case "dynamic":
+		spec = harness.Dynamic(!*noIKT)
+	case "fixed":
+		spec = harness.Fixed(*level, !*noIKT)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	opt := harness.RunOptions{
+		Seed:               *seed,
+		SnapshotPath:       *snapshot,
+		SnapshotLoad:       *loadPath,
+		SnapshotSave:       *savePath,
+		SnapshotChain:      *chainPath,
+		SnapshotDeltaEvery: *deltaEvery,
+		Recover:            recoverPolicy,
+	}
+	if *noSync {
+		opt.Sync = persist.SyncOff
+	}
+
+	engine, info := harness.Serve(spec, opt, service.Config{
+		Workers:    *workers,
+		Backlog:    *backlog,
+		Coalesce:   *coalesce,
+		ResetEvery: *resetEvery,
+	})
+
+	if info.SnapshotErr != nil {
+		fmt.Fprintf(os.Stderr, "atmd: snapshot load failed (-recover %s): %v; serving cold\n", recoverPolicy, info.SnapshotErr)
+	}
+	switch {
+	case info.WarmStart && info.Salvaged:
+		fmt.Printf("atmd: warm start from salvaged snapshot (%d entries restored; %d torn bytes truncated: %s)\n",
+			info.RestoredEntries, info.Recovery.BytesTruncated, info.Recovery.Reason)
+	case info.WarmStart:
+		fmt.Printf("atmd: warm start (%d entries restored)\n", info.RestoredEntries)
+	case info.ColdFallback:
+		fmt.Println("atmd: damaged snapshot could not warm-start; serving cold")
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("atmd: serving on %s (mode %s, kinds %s)\n", *addr, *mode, strings.Join(engine.KindNames(), ","))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("atmd: %v: draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "atmd: %v\n", err)
+			_ = engine.Close()
+			os.Exit(1)
+		}
+	}
+
+	// Close drains queued work and runs the final save.
+	if err := engine.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "atmd: final snapshot save failed: %v\n", err)
+		os.Exit(1)
+	}
+	if st := engine.Stats(); len(st.Types) > 0 {
+		var tasks, memoized int64
+		for _, ts := range st.Types {
+			tasks += ts.Tasks
+			memoized += ts.MemoizedTHT + ts.MemoizedIKT
+		}
+		fmt.Printf("atmd: served %d tasks, %d memoized, THT %d entries / %d bytes\n",
+			tasks, memoized, st.THTEntries, st.THTBytes)
+	}
+}

@@ -1,0 +1,142 @@
+// Command atmload drives an atmd server with an open-loop workload and
+// reports latency percentiles, shed counts and the server's warm-hit
+// ratio (docs/service.md).
+//
+// Open-loop means arrivals follow the configured rate regardless of how
+// fast the server responds; each request's latency is measured from its
+// intended arrival time, so server-side queueing shows up in the
+// percentiles instead of silently slowing the generator down.
+//
+//	atmload -url http://127.0.0.1:8080 -n 100000 -rate 5000 -keys 512
+//	atmload -mix spin=1 -rate 2000 -n 4000 -require-shed   # overload probe
+//
+// The exit status is 0 only when the run (and any -require-* assertion)
+// succeeded, so CI can gate on it directly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"atm/internal/service"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "atmd base URL")
+		n        = flag.Int("n", 100000, "total HTTP requests")
+		rate     = flag.Float64("rate", 2000, "offered arrival rate, requests/second")
+		batch    = flag.Int("batch", 1, "tasks per request body")
+		mixStr   = flag.String("mix", "", "workload mix as kind=weight,... (default: the built-in five-app mix)")
+		keys     = flag.Uint64("keys", 1024, "key-space cardinality per kind (smaller = more warm hits)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		inflight = flag.Int("inflight", 128, "max concurrent requests")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		binary   = flag.Bool("binary", false, "use the binary application/x-atm-tasks encoding")
+		keyed    = flag.Bool("keyed", false, "send {kind,key,seed} specs and let the server expand inputs")
+		report   = flag.String("report", "", "write the JSON report to this file (default: stdout)")
+		reqWarm  = flag.Float64("require-warm-hits", -1, "exit nonzero unless the server's warm-hit ratio over the run exceeds this")
+		reqShed  = flag.Bool("require-shed", false, "exit nonzero unless the server shed at least one request (backpressure probe)")
+		reqOK    = flag.Float64("require-ok", -1, "exit nonzero unless ok/(ok+errors) is at least this (sheds excluded)")
+		quiet    = flag.Bool("q", false, "suppress the human-readable summary")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	mix, err := parseMix(*mixStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	rep, err := service.RunLoad(service.LoadConfig{
+		URL:       strings.TrimRight(*url, "/"),
+		Rate:      *rate,
+		Requests:  *n,
+		Batch:     *batch,
+		Mix:       mix,
+		Keys:      *keys,
+		Seed:      *seed,
+		InFlight:  *inflight,
+		Timeout:   *timeout,
+		Binary:    *binary,
+		KeyedBody: *keyed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atmload: %v\n", err)
+		os.Exit(1)
+	}
+
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	out = append(out, '\n')
+	if *report != "" {
+		if err := os.WriteFile(*report, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "atmload: %v\n", err)
+			os.Exit(1)
+		}
+	} else if *quiet {
+		os.Stdout.Write(out)
+	}
+
+	if !*quiet {
+		fmt.Printf("atmload: %d requests (%d tasks) in %.1fs: %d ok, %d shed, %d errors\n",
+			rep.Requests, rep.Tasks, rep.DurationMS/1000, rep.OK, rep.Shed, rep.Errors)
+		fmt.Printf("  offered %.0f req/s, achieved %.0f req/s\n", rep.OfferedRate, rep.AchievedRate)
+		fmt.Printf("  latency from intended arrival: p50=%.2fms p90=%.2fms p99=%.2fms p99.9=%.2fms max=%.2fms\n",
+			rep.P50MS, rep.P90MS, rep.P99MS, rep.P999MS, rep.MaxMS)
+		fmt.Printf("  server over the run: %d tasks, %d executed, %d memo(THT), %d memo(IKT) — warm-hit ratio %.1f%%\n",
+			rep.Server.ATMTasks, rep.Server.ATMExecuted, rep.Server.MemoTHT, rep.Server.MemoIKT, 100*rep.WarmHitRatio)
+		if rep.FirstError != "" {
+			fmt.Printf("  first error: %s\n", rep.FirstError)
+		}
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "atmload: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *reqWarm >= 0 && !(rep.WarmHitRatio > *reqWarm) {
+		fail("warm-hit ratio %.4f not above required %.4f", rep.WarmHitRatio, *reqWarm)
+	}
+	if *reqShed && rep.Shed == 0 {
+		fail("expected shed requests (429), saw none")
+	}
+	if *reqOK >= 0 {
+		answered := rep.OK + rep.Errors
+		frac := 1.0
+		if answered > 0 {
+			frac = float64(rep.OK) / float64(answered)
+		}
+		if frac < *reqOK {
+			fail("ok fraction %.4f below required %.4f (first error: %s)", frac, *reqOK, rep.FirstError)
+		}
+	}
+}
+
+// parseMix parses "kind=weight,kind=weight"; empty means the default.
+func parseMix(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	mix := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		name, wstr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
+		}
+		w, err := strconv.ParseFloat(wstr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad mix weight %q: %v", wstr, err)
+		}
+		mix[name] = w
+	}
+	return mix, nil
+}

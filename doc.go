@@ -25,7 +25,8 @@
 //     which internal/schedfuzz exploits to fuzz schedules and injected
 //     faults (internal/failpoint) against dependence-order, exactly-
 //     once, memoization and persistence invariants, replaying any
-//     failure from its printed seed (docs/determinism.md).
+//     failure from its printed seed (atmbench -det/-sched/-schedseed;
+//     docs/determinism.md).
 //   - internal/core — the ATM engine: Task History Table (ring-buffer
 //     buckets, refcounted entries recycled through a pool), In-flight Key
 //     Table, Jenkins hashing over sampled inputs, and the static /
@@ -46,17 +47,37 @@
 //     AppendDelta/Compact/MergeSnapshots fold and combine chains, and
 //     cmd/snapshotctl operates on the files (inspect, verify, compact,
 //     merge — the sharded-sweep merge workflow; atmbench -chain and
-//     the `shardsweep` experiment drive it end to end).
+//     the `shardsweep` experiment drive it end to end). Writes are
+//     crash-consistent (tmp+rename for whole files, CRC-framed records
+//     with torn-tail salvage for chains, fsync policies selectable via
+//     -nosync), recovery is policy-driven (-recover strict|salvage|
+//     cold), snapshotctl verify reports damage via its exit code
+//     (0 clean, 2 torn-salvageable, 3 unrecoverable, 1 I/O error), and
+//     the whole surface is fuzzed with simulated crashes
+//     (internal/crashfuzz, internal/failpoint).
+//   - internal/service — memoization as a service: a coalescing engine
+//     loop that feeds concurrent network requests into SubmitBatch
+//     under the runtime's admission watermark (shed with 429 upstream,
+//     never queue unboundedly), an HTTP front-end (JSON and a compact
+//     binary task encoding), the six-kind workload catalog, and an
+//     open-loop load generator with coordinated-omission-free latency
+//     measurement. cmd/atmd serves it; cmd/atmload drives it
+//     (docs/service.md).
 //   - internal/region, internal/sampling, internal/jenkins,
-//     internal/metrics, internal/trace — the supporting substrates.
-//   - internal/apps/... — the six evaluated benchmarks of Table I.
-//   - internal/harness and cmd/atmbench — the evaluation, regenerating
-//     every table and figure of the paper.
+//     internal/trace — the supporting substrates; internal/metrics —
+//     dependency-free HDR latency histograms and a Prometheus
+//     text-format exporter backing atmd's /metrics.
+//   - internal/apps/... — the evaluated benchmarks of Table I.
+//   - internal/harness and cmd/atmbench — the evaluation matrix
+//     (ATMSpec × RunOptions → Outcome), regenerating the paper's
+//     tables and figures; harness.Serve applies the same matrix and
+//     persistence options to a long-lived service engine for atmd.
 //
 // This root package carries the repository-level benchmark suite
 // (bench_test.go, ablation_bench_test.go): one testing.B target per paper
 // table/figure plus ablations of the design decisions. See README.md for
-// a tour, DESIGN.md for the system inventory, EXPERIMENTS.md for
-// paper-vs-measured results, and PERFORMANCE.md for the runtime's
-// bottleneck inventory and before/after numbers (BENCH_1.json).
+// a tour and repo map, docs/architecture.md for the layer walk,
+// docs/README.md for the documentation index, and PERFORMANCE.md for
+// the runtime's bottleneck inventory and before/after numbers
+// (BENCH_*.json, gated in CI by cmd/benchgate — docs/ci.md).
 package atm

@@ -1,0 +1,56 @@
+package atm
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links and autolinks are out of scope — the docs don't use them.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinks fails on dead relative links in README.md and docs/*.md,
+// so the doc layer can't silently rot as files move. External URLs and
+// in-page anchors are not checked.
+func TestDocsLinks(t *testing.T) {
+	pages := []string{"README.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages = append(pages, docs...)
+	if len(pages) < 2 {
+		t.Fatalf("expected README.md plus docs/*.md, found %v", pages)
+	}
+	checked := 0
+	for _, page := range pages {
+		body, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatalf("%s: %v", page, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			// In-page anchor, or a path + anchor: check only the path part.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+				if target == "" {
+					continue
+				}
+			}
+			rel := filepath.Join(filepath.Dir(page), filepath.FromSlash(target))
+			if _, err := os.Stat(rel); err != nil {
+				t.Errorf("%s: dead link %q (resolved %s)", page, m[1], rel)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("link checker matched no relative links; regexp or docs layout broken")
+	}
+}

@@ -489,7 +489,13 @@ func (a *ATM) HashKey(t *taskrt.Task, level int) uint64 {
 // hashKeyInto is HashKey on a caller-owned hasher: the worker fast path,
 // free of allocation and locks.
 func (a *ATM) hashKeyInto(t *taskrt.Task, ts *typeState, level int, h *jenkins.Streaming) uint64 {
-	ins := t.Inputs()
+	return a.hashIns(t.Type().ID(), ts, t.Inputs(), level, h)
+}
+
+// hashIns is the shape-agnostic key computation shared by the worker
+// fast path (hashKeyInto) and out-of-band probes (Peek): callers that
+// have input regions but no carved task hash through here.
+func (a *ATM) hashIns(typeID int, ts *typeState, ins []region.Region, level int, h *jenkins.Streaming) uint64 {
 	sig := sampling.SignatureOf(ins)
 	seed := a.cfg.Seed ^ sig ^ (ts.seed|1)*0xc2b2ae3d27d4eb4f
 	h.ResetSeed(seed)
@@ -499,7 +505,7 @@ func (a *ATM) hashKeyInto(t *taskrt.Task, ts *typeState, level int, h *jenkins.S
 		}
 		return h.Sum64()
 	}
-	plan := a.planFor(t.Type().ID(), ts.seed, sig, ins)
+	plan := a.planFor(typeID, ts.seed, sig, ins)
 	runs := plan.SegmentedRuns(level)
 	for i, offsets := range plan.Segmented(level) {
 		if len(offsets) == 0 {
@@ -512,6 +518,34 @@ func (a *ATM) hashKeyInto(t *taskrt.Task, ts *typeState, level int, h *jenkins.S
 		}
 	}
 	return h.Sum64()
+}
+
+// Peek probes the THT for the outputs the engine would currently serve
+// for a task of type tt with the given inputs, without submitting a
+// task: on a hit the stored outputs are copied into outs (which must
+// match the entry's shapes) and Peek reports true. It never mutates
+// engine state beyond the table's lookup/hit counters and is safe to
+// call from any goroutine — the memoization-lookup path of a network
+// front-end (GET /v1/lookup in cmd/atmd).
+//
+// A false return means only that no entry exists at the type's current
+// p level right now; a concurrent insert may land immediately after.
+func (a *ATM) Peek(tt *taskrt.TaskType, ins, outs []region.Region) bool {
+	ts := a.state(tt)
+	_, level := ts.load()
+	key := a.hashIns(tt.ID(), ts, ins, level, jenkins.NewStreaming(0))
+	e := a.tht.Lookup(tt.ID(), key, int8(level))
+	if e == nil {
+		return false
+	}
+	defer e.Release()
+	if !outputShapesMatch(e.Outs, outs) {
+		return false
+	}
+	for i, o := range outs {
+		o.CopyFrom(e.Outs[i])
+	}
+	return true
 }
 
 // verifyHit confirms a THT key match by comparing the actual sampled input

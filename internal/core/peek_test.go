@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"atm/internal/region"
+	"atm/internal/taskrt"
+)
+
+// TestPeek exercises the read-only lookup API behind the service
+// layer's GET /v1/lookup: it must miss before the table holds the
+// entry, hit with the stored outputs after, and never mutate stats in
+// a way that breaks task accounting.
+func TestPeek(t *testing.T) {
+	memo := New(Config{Mode: ModeStatic})
+	rt := taskrt.New(taskrt.Config{Workers: 1, Memoizer: memo})
+	defer rt.Close()
+	tt := rt.RegisterType(taskrt.TypeConfig{Name: "double", Memoize: true, Run: doubler})
+
+	in := region.NewFloat64(64)
+	for i := range in.Data {
+		in.Data[i] = float64(i) * 0.5
+	}
+	peekOut := region.NewFloat64(64)
+	if memo.Peek(tt, []region.Region{in}, []region.Region{peekOut}) {
+		t.Fatal("Peek hit on an empty table")
+	}
+
+	out := region.NewFloat64(64)
+	rt.Submit(tt, taskrt.In(in), taskrt.Out(out))
+	rt.Wait()
+
+	if !memo.Peek(tt, []region.Region{in}, []region.Region{peekOut}) {
+		t.Fatal("Peek missed after the task executed")
+	}
+	for i := range out.Data {
+		if peekOut.Data[i] != out.Data[i] {
+			t.Fatalf("peeked output[%d] = %v, want %v", i, peekOut.Data[i], out.Data[i])
+		}
+	}
+
+	// A different input misses.
+	other := region.NewFloat64(64)
+	other.Data[0] = 999
+	if memo.Peek(tt, []region.Region{other}, []region.Region{peekOut}) {
+		t.Fatal("Peek hit for an input never executed")
+	}
+
+	// Output shape mismatch misses rather than corrupting anything.
+	short := region.NewFloat64(8)
+	if memo.Peek(tt, []region.Region{in}, []region.Region{short}) {
+		t.Fatal("Peek hit despite output shape mismatch")
+	}
+}

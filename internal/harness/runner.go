@@ -275,6 +275,185 @@ func (opt RunOptions) snapshotPaths() (load, save string, loadOptional bool) {
 	return load, save, loadOptional
 }
 
+// memoState is the opened memoization state of a run or a served
+// engine: the engine itself (nil when the spec disables ATM), how it
+// warm-started, and the persistence configuration its saves use. It is
+// shared by RunOne (the evaluation path) and Serve (the service path);
+// its save methods must be called from one goroutine at a time (RunOne
+// serializes the periodic saver against the final save; the service
+// engine runs every save on its loop goroutine).
+type memoState struct {
+	memo     *core.ATM
+	warm     bool
+	salvaged bool
+	coldFB   bool
+	recovery persist.RecoveryReport
+	err      error
+
+	// chain is the incremental chain path ("" = whole-table mode);
+	// save the whole-table save path ("" = none).
+	chain string
+	save  string
+	sync  persist.SyncPolicy
+
+	deltaSaves    int
+	deltaBytes    int64
+	saverRetries  int
+	saverFailures int
+}
+
+// openMemo builds (and possibly warm-starts) the ATM engine for a spec
+// under the persistence options: chain mode restores + enables delta
+// tracking (creating the chain file on a cold start), whole-table load
+// mode restores under the recovery policy. For a disabled spec the
+// state is empty (nil memo).
+func openMemo(spec ATMSpec, opt RunOptions) *memoState {
+	st := &memoState{sync: opt.Sync}
+	if !spec.Enabled {
+		return st
+	}
+	load, save, loadOptional := opt.snapshotPaths()
+	st.chain = opt.SnapshotChain
+	cfg := core.Config{Mode: spec.Mode, FixedLevel: spec.Level, DisableIKT: !spec.IKT, Seed: opt.Seed}
+	if st.chain != "" {
+		// Incremental chain mode supersedes the whole-table paths.
+		save = ""
+		st.memo, st.warm, st.salvaged, st.coldFB, st.recovery, st.err = recoverChain(cfg, st.chain, opt.Recover, opt.Sync)
+		if st.err != nil && errors.Is(st.err, os.ErrNotExist) {
+			st.err = nil // cold start: this repetition creates the chain
+		}
+		if st.memo == nil {
+			st.memo = core.New(cfg)
+		}
+		if st.err == nil {
+			// A failed chain load means no save will ever drain the
+			// insert log; don't start retaining entries for it.
+			st.memo.EnableDeltaTracking()
+		}
+		if !st.warm && st.err == nil {
+			// First repetition (or cold fallback): create the chain
+			// file, its base holding this engine's (empty) pre-run
+			// state, so the later saves can append O(churn) delta
+			// records.
+			if snap, err := st.memo.Snapshot(); err != nil {
+				st.err = err
+			} else if err := persist.SaveChainSync(st.chain, snap, nil, opt.Sync); err != nil {
+				st.err = err
+			}
+			if st.err != nil {
+				st.memo.DisableDeltaTracking() // nothing will drain the log
+			}
+		}
+	} else if load != "" {
+		// Chain-aware load: a v1 whole-table snapshot, a merged
+		// shard file, or a full v2 chain all warm-start here.
+		st.memo, st.warm, st.err = restoreChain(cfg, load, false)
+		switch {
+		case st.err == nil:
+		case errors.Is(st.err, os.ErrNotExist):
+			if loadOptional {
+				st.err = nil // cold start: the sweep's first repetition
+			}
+		case opt.Recover == RecoverStrict:
+			// The damage stays in SnapshotErr; the run proceeds cold.
+		default:
+			if opt.Recover == RecoverSalvage {
+				// The load path may be a shared input (-load): salvage
+				// in memory, never mutate the file.
+				if b, ds, rep, lerr := persist.LoadChainSalvage(load); lerr == nil && b != nil {
+					if warmed, rerr := core.RestoreChain(cfg, b, ds); rerr == nil {
+						st.memo, st.warm, st.err = warmed, true, nil
+						st.salvaged, st.recovery = !rep.Clean(), rep
+					}
+				}
+			}
+			if st.err != nil {
+				// Unrecoverable (or config skew): degrade to a cold
+				// run instead of surfacing an error.
+				st.err = nil
+				st.coldFB = true
+			}
+		}
+	}
+	if st.memo == nil {
+		st.memo = core.New(cfg)
+	}
+	st.save = save
+	return st
+}
+
+// appendDelta appends one delta record of the engine's churn since the
+// last save to the chain file, with bounded retry. In chain mode every
+// save appends one record; file growth is the honest measure of save
+// cost (it includes record framing). Returns the save's error (also
+// latched in st.err; a latched error disables all further saves).
+func (st *memoState) appendDelta() error {
+	if st.err != nil {
+		return st.err
+	}
+	d, err := st.memo.SnapshotDelta()
+	if err != nil {
+		st.err = err
+		st.memo.DisableDeltaTracking() // no further saves will drain the log
+		return err
+	}
+	// The stats are best-effort: a failed Stat must not abort the
+	// save itself.
+	var preSize int64 = -1
+	if pre, err := os.Stat(st.chain); err == nil {
+		preSize = pre.Size()
+	}
+	// Bounded retry with exponential backoff: transient I/O failures
+	// (ENOSPC racing a cleaner, a blip on network storage) must not
+	// permanently stop a long-lived service's saves. The retry is
+	// safe because a failed append truncates itself back to the
+	// record boundary (persist.AppendDeltaSync), so a retry can
+	// never double-append. After the budget the save is abandoned:
+	// the error latches and delta tracking stops, since nothing
+	// will drain the insert log.
+	for attempt := 0; ; attempt++ {
+		err = persist.AppendDeltaSync(st.chain, d, st.sync)
+		if err == nil {
+			break
+		}
+		if attempt+1 >= saverMaxAttempts {
+			st.saverFailures++
+			st.err = err
+			st.memo.DisableDeltaTracking()
+			return err
+		}
+		st.saverRetries++
+		time.Sleep(saverBackoffBase << attempt)
+	}
+	if post, err := os.Stat(st.chain); err == nil && preSize >= 0 {
+		st.deltaBytes += post.Size() - preSize
+	}
+	st.deltaSaves++
+	return nil
+}
+
+// saveNow persists the engine's current state under whichever mode the
+// state was opened in: a delta append in chain mode, a whole-table
+// rewrite in load/save mode, a no-op otherwise.
+func (st *memoState) saveNow() error {
+	switch {
+	case st.memo == nil:
+		return nil
+	case st.chain != "":
+		return st.appendDelta()
+	case st.save != "" && st.err == nil:
+		snap, err := st.memo.Snapshot()
+		if err == nil {
+			err = persist.SaveSync(st.save, snap, st.sync)
+		}
+		if err != nil {
+			st.err = err
+		}
+		return err
+	}
+	return st.err
+}
+
 // RunOne builds a fresh workload and executes it once under the spec.
 // Workload construction is excluded from the timing; the measured window
 // covers task submission, execution and the final taskwait — the same
@@ -286,138 +465,23 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 	if opt.Trace || opt.Detail {
 		tr = trace.New(workers, opt.Detail)
 	}
+	st := openMemo(spec, opt)
 	var memo *core.ATM
 	var m taskrt.Memoizer
-	var snapErr error
-	warm := false
-	var salvaged, coldFB bool
-	var recovery persist.RecoveryReport
-	load, save, loadOptional := opt.snapshotPaths()
-	chain := opt.SnapshotChain
 	if spec.Enabled {
-		cfg := core.Config{Mode: spec.Mode, FixedLevel: spec.Level, DisableIKT: !spec.IKT, Seed: opt.Seed}
-		if chain != "" {
-			// Incremental chain mode supersedes the whole-table paths.
-			load, save = "", ""
-			memo, warm, salvaged, coldFB, recovery, snapErr = recoverChain(cfg, chain, opt.Recover, opt.Sync)
-			if snapErr != nil && errors.Is(snapErr, os.ErrNotExist) {
-				snapErr = nil // cold start: this repetition creates the chain
-			}
-			if memo == nil {
-				memo = core.New(cfg)
-			}
-			if snapErr == nil {
-				// A failed chain load means no save will ever drain the
-				// insert log; don't start retaining entries for it.
-				memo.EnableDeltaTracking()
-			}
-			if !warm && snapErr == nil {
-				// First repetition (or cold fallback): create the chain
-				// file, its base holding this engine's (empty) pre-run
-				// state, so the post-run saves below can append O(churn)
-				// delta records.
-				if snap, err := memo.Snapshot(); err != nil {
-					snapErr = err
-				} else if err := persist.SaveChainSync(chain, snap, nil, opt.Sync); err != nil {
-					snapErr = err
-				}
-				if snapErr != nil {
-					memo.DisableDeltaTracking() // nothing will drain the log
-				}
-			}
-		} else if load != "" {
-			// Chain-aware load: a v1 whole-table snapshot, a merged
-			// shard file, or a full v2 chain all warm-start here.
-			memo, warm, snapErr = restoreChain(cfg, load, false)
-			switch {
-			case snapErr == nil:
-			case errors.Is(snapErr, os.ErrNotExist):
-				if loadOptional {
-					snapErr = nil // cold start: the sweep's first repetition
-				}
-			case opt.Recover == RecoverStrict:
-				// The damage stays in SnapshotErr; the run proceeds cold.
-			default:
-				if opt.Recover == RecoverSalvage {
-					// The load path may be a shared input (-load): salvage
-					// in memory, never mutate the file.
-					if b, ds, rep, lerr := persist.LoadChainSalvage(load); lerr == nil && b != nil {
-						if warmed, rerr := core.RestoreChain(cfg, b, ds); rerr == nil {
-							memo, warm, snapErr = warmed, true, nil
-							salvaged, recovery = !rep.Clean(), rep
-						}
-					}
-				}
-				if snapErr != nil {
-					// Unrecoverable (or config skew): degrade to a cold
-					// run instead of surfacing an error.
-					snapErr = nil
-					coldFB = true
-				}
-			}
-		}
-		if memo == nil {
-			memo = core.New(cfg)
-		}
+		memo = st.memo
 		m = memo
 	}
 	rt := taskrt.New(taskrt.Config{Workers: workers, Memoizer: m, Tracer: tr, Policy: opt.Policy, BatchSize: opt.Batch,
 		Seed: opt.Seed, Deterministic: opt.Deterministic, DetSched: opt.DetSched})
 
-	// In chain mode every save appends one delta record; file growth is
-	// the honest measure of save cost (it includes record framing).
-	var deltaSaves, saverRetries, saverFailures int
-	var deltaBytes int64
-	appendDelta := func() {
-		if snapErr != nil {
-			return
-		}
-		d, err := memo.SnapshotDelta()
-		if err != nil {
-			snapErr = err
-			memo.DisableDeltaTracking() // no further saves will drain the log
-			return
-		}
-		// The stats are best-effort: a failed Stat must not abort the
-		// save itself.
-		var preSize int64 = -1
-		if pre, err := os.Stat(chain); err == nil {
-			preSize = pre.Size()
-		}
-		// Bounded retry with exponential backoff: transient I/O failures
-		// (ENOSPC racing a cleaner, a blip on network storage) must not
-		// permanently stop a long-lived service's saves. The retry is
-		// safe because a failed append truncates itself back to the
-		// record boundary (persist.AppendDeltaSync), so a retry can
-		// never double-append. After the budget the save is abandoned:
-		// SnapshotErr is set and delta tracking stops, since nothing
-		// will drain the insert log.
-		for attempt := 0; ; attempt++ {
-			err = persist.AppendDeltaSync(chain, d, opt.Sync)
-			if err == nil {
-				break
-			}
-			if attempt+1 >= saverMaxAttempts {
-				saverFailures++
-				snapErr = err
-				memo.DisableDeltaTracking()
-				return
-			}
-			saverRetries++
-			time.Sleep(saverBackoffBase << attempt)
-		}
-		if post, err := os.Stat(chain); err == nil && preSize >= 0 {
-			deltaBytes += post.Size() - preSize
-		}
-		deltaSaves++
-	}
 	stopSaver := make(chan struct{})
 	var saverWG sync.WaitGroup
 	// The periodic saver is incompatible with deterministic mode: each
 	// save quiesces via rt.Wait, which under Config.Deterministic may only
 	// be called from the master goroutine (the run still gets its final
 	// delta save after app.Run returns).
-	if chain != "" && opt.SnapshotDeltaEvery > 0 && memo != nil && snapErr == nil && !opt.Deterministic {
+	if st.chain != "" && opt.SnapshotDeltaEvery > 0 && memo != nil && st.err == nil && !opt.Deterministic {
 		saverWG.Add(1)
 		go func() {
 			defer saverWG.Done()
@@ -428,7 +492,7 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 				case <-stopSaver:
 					return
 				case <-tick.C:
-					appendDelta() // quiesces via the runtime's completion fence
+					_ = st.appendDelta() // quiesces via the runtime's completion fence
 				}
 			}
 		}()
@@ -441,7 +505,7 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 	saverWG.Wait()
 	rt.Close()
 
-	out := Outcome{App: app, Spec: spec, Workers: workers, Elapsed: elapsed, Tracer: tr, WarmStart: warm}
+	out := Outcome{App: app, Spec: spec, Workers: workers, Elapsed: elapsed, Tracer: tr, WarmStart: st.warm}
 	if memo != nil {
 		out.Stats = memo.Stats()
 		out.ATMMemory = memo.MemoryBytes()
@@ -450,21 +514,12 @@ func RunOne(factory apps.Factory, scale apps.Scale, workers int, spec ATMSpec, o
 		for _, ts := range out.Stats.Types {
 			out.ChosenLevels[ts.Name] = ts.Level
 		}
-		switch {
-		case chain != "":
-			appendDelta() // the final save: this run's remaining churn
-		case save != "" && snapErr == nil:
-			if snap, err := memo.Snapshot(); err != nil {
-				snapErr = err
-			} else if err := persist.SaveSync(save, snap, opt.Sync); err != nil {
-				snapErr = err
-			}
-		}
+		_ = st.saveNow() // the final save: this run's remaining churn
 	}
-	out.SnapshotErr = snapErr
-	out.DeltaSaves, out.DeltaBytes = deltaSaves, deltaBytes
-	out.Salvaged, out.ColdFallback, out.Recovery = salvaged, coldFB, recovery
-	out.SaverRetries, out.SaverFailures = saverRetries, saverFailures
+	out.SnapshotErr = st.err
+	out.DeltaSaves, out.DeltaBytes = st.deltaSaves, st.deltaBytes
+	out.Salvaged, out.ColdFallback, out.Recovery = st.salvaged, st.coldFB, st.recovery
+	out.SaverRetries, out.SaverFailures = st.saverRetries, st.saverFailures
 	return out
 }
 

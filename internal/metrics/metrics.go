@@ -10,6 +10,13 @@
 //
 // Whole-program correctness is reported as (1 - Er) * 100%, with the
 // LU-specific residual |A - L*U|² / |A|² (equation 4) for SparseLU.
+//
+// Beyond the paper's measures, the package carries the operational
+// metrics substrate of the service layer (docs/service.md): a
+// fixed-memory log-linear latency Histogram (hist.go) shared by the
+// atmd request path and the atmload load generator, and a
+// dependency-free Prometheus text-format writer (prom.go) behind
+// atmd's GET /metrics.
 package metrics
 
 import (

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text-exposition-format writer (version 0.0.4, the format
+// every Prometheus-compatible scraper accepts). The exporter is
+// deliberately dependency-free: a scrape handler builds its families in
+// registration order with one Family call per metric name and one
+// Sample per series, and the writer takes care of HELP/TYPE headers,
+// label escaping and float formatting.
+//
+// Usage:
+//
+//	p := metrics.NewProm(w)
+//	p.Family("atmd_requests_total", "counter", "HTTP requests by route and code.")
+//	p.Sample("atmd_requests_total", []metrics.Label{{"route", "submit"}, {"code", "200"}}, 123)
+//	p.LatencyHistogram("atmd_submit_seconds", nil, hist)
+//	err := p.Err()
+
+// Label is one name="value" pair of a sample.
+type Label struct {
+	Name, Value string
+}
+
+// Prom writes metric families in the Prometheus text format.
+type Prom struct {
+	w   io.Writer
+	err error
+}
+
+// NewProm returns a writer targeting w. Errors are sticky: check Err()
+// once after the last family.
+func NewProm(w io.Writer) *Prom { return &Prom{w: w} }
+
+// Err returns the first write error, if any.
+func (p *Prom) Err() error { return p.err }
+
+func (p *Prom) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family emits the HELP/TYPE header for a metric name. typ is one of
+// "counter", "gauge", "histogram". Call it once per name, before the
+// name's samples.
+func (p *Prom) Family(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one series: name{labels} value.
+func (p *Prom) Sample(name string, labels []Label, v float64) {
+	p.printf("%s%s %s\n", name, renderLabels(labels), formatFloat(v))
+}
+
+// latencyBounds is the le-bucket ladder LatencyHistogram exposes:
+// coarse enough to stay readable, fine enough to locate a p99 between
+// 100µs and 10s.
+var latencyBounds = []time.Duration{
+	100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2500 * time.Millisecond, 5 * time.Second, 10 * time.Second,
+}
+
+// LatencyHistogram renders h as a Prometheus histogram in seconds:
+// name_bucket{le="..."} series over a fixed ladder, name_sum and
+// name_count. Bucket counts are accurate to h's ~3% bucket resolution.
+// Call Family(name, "histogram", ...) first.
+func (p *Prom) LatencyHistogram(name string, labels []Label, h *Histogram) {
+	for _, b := range latencyBounds {
+		le := append(append([]Label{}, labels...), Label{"le", formatFloat(b.Seconds())})
+		p.Sample(name+"_bucket", le, float64(h.CountAtMost(b)))
+	}
+	inf := append(append([]Label{}, labels...), Label{"le", "+Inf"})
+	p.Sample(name+"_bucket", inf, float64(h.Count()))
+	p.Sample(name+"_sum", labels, h.Sum().Seconds())
+	p.Sample(name+"_count", labels, float64(h.Count()))
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// formatFloat renders a float the way Prometheus expects: integers
+// without an exponent, everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

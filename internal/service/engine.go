@@ -1,0 +1,519 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atm/internal/core"
+	"atm/internal/persist"
+	"atm/internal/region"
+	"atm/internal/taskrt"
+)
+
+// Config configures a service Engine.
+type Config struct {
+	// Workers is the task-runtime worker count (0 = 1, taskrt's rule).
+	Workers int
+	// Memo is the ATM engine to memoize through; nil runs a plain
+	// baseline runtime (every task executes).
+	Memo *core.ATM
+	// Policy selects the runtime's scheduling discipline.
+	Policy taskrt.SchedPolicy
+	// Backlog fixes the admission watermark (and the runtime's
+	// throttle window) at this many in-flight tasks. Zero selects the
+	// adaptive LLC-sized watermark — admission control then tracks the
+	// same cache-sized backlog target as the submission throttle.
+	Backlog int
+	// Coalesce caps the tasks folded into one SubmitBatch call (0 =
+	// 512). Larger batches amortize submission cost; smaller ones bound
+	// the per-batch completion fence a request may wait behind.
+	Coalesce int
+	// ResetEvery is the number of engine batches between rt.Reset()
+	// calls (0 = 64). Every request's regions are fresh, so dependence
+	// state is garbage after each fence; periodic resets keep the
+	// runtime's live-slot list bounded on a long-lived server.
+	ResetEvery int
+	// Save persists the memoization state; it runs on the engine loop
+	// (quiesced, serialized with submissions). Nil disables POST
+	// /v1/snapshot's default save and periodic saves.
+	Save func() error
+	// SaveEvery additionally runs Save on this period (0 = never).
+	SaveEvery time.Duration
+	// KindList overrides the served task-kind catalog (nil = Kinds()).
+	KindList []Kind
+}
+
+// Task is one unit of client work: a kind name plus its input vector.
+type Task struct {
+	Kind  string
+	Input []float64
+}
+
+// GroupStats is the ATM activity of the coalesced engine batch a
+// request rode in: requests coalesced into the same batch observe the
+// same numbers (per-batch, not per-request, attribution — the price of
+// request coalescing, documented in docs/service.md).
+type GroupStats struct {
+	// Tasks is the batch's task count; Executed of them ran their body,
+	// MemoTHT were served from the history table, MemoIKT deduplicated
+	// against an identical in-flight task.
+	Tasks, Executed, MemoTHT, MemoIKT int64
+}
+
+// Counters is the engine's monotonic operational state.
+type Counters struct {
+	// Requests / Tasks count admitted work; Shed* count work refused at
+	// the admission watermark (the 429 path).
+	Requests, Tasks         int64
+	ShedRequests, ShedTasks int64
+	// Batches counts SubmitBatch fences; Lookups/LookupHits the Peek
+	// path; Saves completed snapshot saves.
+	Batches, Lookups, LookupHits, Saves int64
+	// Queued is the current admitted-but-uncompleted task count;
+	// BacklogLimit the current admission watermark.
+	Queued, BacklogLimit int64
+}
+
+// Engine errors.
+var (
+	// ErrClosed is returned by calls racing or following Close.
+	ErrClosed = errors.New("service: engine closed")
+	// ErrNoPersistence rejects snapshot requests on an engine built
+	// without a Save hook.
+	ErrNoPersistence = errors.New("service: engine has no snapshot persistence configured")
+)
+
+// OverloadError is the admission-control rejection: the engine's
+// in-flight backlog would exceed the watermark. HTTP maps it to
+// 429 + Retry-After.
+type OverloadError struct {
+	Queued, Limit int64
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded (%d tasks queued, limit %d)", e.Queued, e.Limit)
+}
+
+// BadTaskError rejects a malformed task before admission (HTTP 400).
+type BadTaskError struct{ msg string }
+
+func (e *BadTaskError) Error() string { return "service: " + e.msg }
+
+// Engine is the memoization service core: it owns the task runtime's
+// master thread. Concurrent callers (HTTP handler goroutines) enqueue
+// task groups through Do; a single loop goroutine coalesces them into
+// SubmitBatch calls — request coalescing over the batched submission
+// pipeline — runs each batch to its completion fence, and hands the
+// outputs back. Admission control reuses the runtime's adaptive
+// throttle watermark: work that would push the in-flight backlog past
+// it is shed immediately (OverloadError) instead of queueing
+// unboundedly, and identical in-flight tasks deduplicate through the
+// IKT as in any ATM run.
+type Engine struct {
+	cfg   Config
+	rt    *taskrt.Runtime
+	memo  *core.ATM
+	kinds map[string]Kind
+	types map[string]*taskrt.TaskType
+
+	reqs     chan *request
+	ctl      chan *ctlReq
+	quit     chan struct{}
+	loopDone chan struct{}
+	closed   atomic.Bool
+
+	queued   atomic.Int64
+	requests atomic.Int64
+	tasks    atomic.Int64
+	shedReqs atomic.Int64
+	shedTask atomic.Int64
+	batches  atomic.Int64
+	lookups  atomic.Int64
+	lookHits atomic.Int64
+	saves    atomic.Int64
+
+	saveMu  sync.Mutex
+	saveErr error
+}
+
+type request struct {
+	tasks []Task
+	outs  [][]float64
+	group GroupStats
+	err   error
+	done  chan struct{}
+}
+
+type ctlReq struct {
+	path string // "" = the configured Save hook; else whole-table save to path
+	err  chan error
+}
+
+// New builds the engine and starts its loop. The caller must Close it.
+func New(cfg Config) *Engine {
+	kindList := cfg.KindList
+	if kindList == nil {
+		kindList = Kinds()
+	}
+	if cfg.Coalesce <= 0 {
+		cfg.Coalesce = 512
+	}
+	if cfg.ResetEvery <= 0 {
+		cfg.ResetEvery = 64
+	}
+	var m taskrt.Memoizer
+	if cfg.Memo != nil {
+		m = cfg.Memo
+	}
+	rt := taskrt.New(taskrt.Config{
+		Workers:        cfg.Workers,
+		Memoizer:       m,
+		Policy:         cfg.Policy,
+		ThrottleWindow: cfg.Backlog,
+	})
+	e := &Engine{
+		cfg:   cfg,
+		rt:    rt,
+		memo:  cfg.Memo,
+		kinds: make(map[string]Kind, len(kindList)),
+		types: make(map[string]*taskrt.TaskType, len(kindList)),
+		// The channel outlasts the watermark's hard cap (16384 tasks,
+		// one request minimum each), so an admitted request never blocks
+		// on the channel itself.
+		reqs:     make(chan *request, 32768),
+		ctl:      make(chan *ctlReq),
+		quit:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	for _, k := range kindList {
+		k := k
+		e.kinds[k.Name] = k
+		e.types[k.Name] = rt.RegisterType(taskrt.TypeConfig{
+			Name:    k.TypeName(),
+			Memoize: k.Memoize,
+			Run: func(t *taskrt.Task) {
+				k.Fn(t.Float64s(0), t.Float64s(1))
+			},
+		})
+		if cfg.Memo != nil && k.Memoize {
+			// Touch the type state now: restored snapshot sections
+			// install lazily on first use, and a server should surface
+			// its warm-start entry count (and per-type metrics) from
+			// construction, not from the first request.
+			cfg.Memo.ChosenLevel(e.types[k.Name])
+		}
+	}
+	go e.loop()
+	return e
+}
+
+// Runtime exposes the underlying task runtime (tests, stats).
+func (e *Engine) Runtime() *taskrt.Runtime { return e.rt }
+
+// Memoizing reports whether an ATM engine is attached.
+func (e *Engine) Memoizing() bool { return e.memo != nil }
+
+// Stats snapshots the ATM engine's statistics (zero when baseline).
+func (e *Engine) Stats() core.Stats {
+	if e.memo == nil {
+		return core.Stats{}
+	}
+	return e.memo.Stats()
+}
+
+// KindNames lists the served kinds in catalog order.
+func (e *Engine) KindNames() []string {
+	names := make([]string, 0, len(e.kinds))
+	for _, k := range Kinds() {
+		if _, ok := e.kinds[k.Name]; ok {
+			names = append(names, k.Name)
+		}
+	}
+	return names
+}
+
+// Kind resolves a served kind by wire name.
+func (e *Engine) Kind(name string) (Kind, bool) {
+	k, ok := e.kinds[name]
+	return k, ok
+}
+
+// Counters returns the engine's operational counters.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		Requests:     e.requests.Load(),
+		Tasks:        e.tasks.Load(),
+		ShedRequests: e.shedReqs.Load(),
+		ShedTasks:    e.shedTask.Load(),
+		Batches:      e.batches.Load(),
+		Lookups:      e.lookups.Load(),
+		LookupHits:   e.lookHits.Load(),
+		Saves:        e.saves.Load(),
+		Queued:       e.queued.Load(),
+		BacklogLimit: int64(e.rt.BacklogLimit()),
+	}
+}
+
+// SaveErr returns the most recent snapshot-save failure (periodic or
+// requested), nil if none.
+func (e *Engine) SaveErr() error {
+	e.saveMu.Lock()
+	defer e.saveMu.Unlock()
+	return e.saveErr
+}
+
+func (e *Engine) setSaveErr(err error) {
+	e.saveMu.Lock()
+	e.saveErr = err
+	e.saveMu.Unlock()
+}
+
+// validate checks a task group before admission.
+func (e *Engine) validate(tasks []Task) error {
+	if len(tasks) == 0 {
+		return &BadTaskError{msg: "empty task list"}
+	}
+	for i, t := range tasks {
+		k, ok := e.kinds[t.Kind]
+		if !ok {
+			return &BadTaskError{msg: fmt.Sprintf("task %d: unknown kind %q", i, t.Kind)}
+		}
+		if len(t.Input) != k.In {
+			return &BadTaskError{msg: fmt.Sprintf("task %d: kind %q wants %d input floats, got %d", i, t.Kind, k.In, len(t.Input))}
+		}
+	}
+	return nil
+}
+
+// Do submits a group of tasks and blocks until their outputs are
+// ready. The group is admitted or shed atomically: on success every
+// task's output vector is returned in order, plus the stats of the
+// coalesced batch the group rode in; past the watermark it returns
+// *OverloadError without queueing anything.
+func (e *Engine) Do(tasks []Task) ([][]float64, GroupStats, error) {
+	if e.closed.Load() {
+		return nil, GroupStats{}, ErrClosed
+	}
+	if err := e.validate(tasks); err != nil {
+		return nil, GroupStats{}, err
+	}
+	n := int64(len(tasks))
+	limit := int64(e.rt.BacklogLimit())
+	if q := e.queued.Add(n); q > limit {
+		e.queued.Add(-n)
+		e.shedReqs.Add(1)
+		e.shedTask.Add(n)
+		return nil, GroupStats{}, &OverloadError{Queued: q - n, Limit: limit}
+	}
+	e.requests.Add(1)
+	e.tasks.Add(n)
+	r := &request{tasks: tasks, done: make(chan struct{})}
+	select {
+	case e.reqs <- r:
+	case <-e.quit:
+		e.queued.Add(-n)
+		return nil, GroupStats{}, ErrClosed
+	}
+	select {
+	case <-r.done:
+		return r.outs, r.group, r.err
+	case <-e.loopDone:
+		// The loop exited without processing this request (shutdown
+		// race): the work never ran.
+		return nil, GroupStats{}, ErrClosed
+	}
+}
+
+// Lookup probes the memoization table for the outputs the engine would
+// serve for (kind, input) right now, without executing anything. It
+// runs entirely off the engine loop — a read-side fast path.
+func (e *Engine) Lookup(kind string, input []float64) ([]float64, bool, error) {
+	k, ok := e.kinds[kind]
+	if !ok {
+		return nil, false, &BadTaskError{msg: fmt.Sprintf("unknown kind %q", kind)}
+	}
+	if len(input) != k.In {
+		return nil, false, &BadTaskError{msg: fmt.Sprintf("kind %q wants %d input floats, got %d", kind, k.In, len(input))}
+	}
+	e.lookups.Add(1)
+	if e.memo == nil || !k.Memoize {
+		return nil, false, nil
+	}
+	out := region.NewFloat64(k.Out)
+	if !e.memo.Peek(e.types[kind], []region.Region{region.WrapFloat64(input)}, []region.Region{out}) {
+		return nil, false, nil
+	}
+	e.lookHits.Add(1)
+	return out.Data, true, nil
+}
+
+// Snapshot persists the memoization state: path "" runs the configured
+// Save hook (the delta-chain saver under harness serve mode); a
+// non-empty path writes a whole-table snapshot there. Serialized on
+// the engine loop, quiesced at a completion fence.
+func (e *Engine) Snapshot(path string) error {
+	if e.memo == nil {
+		return ErrNoPersistence
+	}
+	if path == "" && e.cfg.Save == nil {
+		return ErrNoPersistence
+	}
+	c := &ctlReq{path: path, err: make(chan error, 1)}
+	select {
+	case e.ctl <- c:
+	case <-e.loopDone:
+		return ErrClosed
+	}
+	select {
+	case err := <-c.err:
+		return err
+	case <-e.loopDone:
+		return ErrClosed
+	}
+}
+
+// Close drains queued requests, runs a final save (when configured)
+// and stops the runtime. It returns the final save's error, if any.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		<-e.loopDone
+		return e.SaveErr()
+	}
+	close(e.quit)
+	<-e.loopDone
+	e.rt.Close()
+	return e.SaveErr()
+}
+
+// save runs a snapshot save on the loop goroutine.
+func (e *Engine) save(path string) error {
+	var err error
+	if path == "" {
+		err = e.cfg.Save()
+	} else {
+		var snap *core.Snapshot
+		if snap, err = e.memo.Snapshot(); err == nil {
+			err = persist.Save(path, snap)
+		}
+	}
+	if err != nil {
+		e.setSaveErr(err)
+	} else {
+		e.saves.Add(1)
+	}
+	return err
+}
+
+// loop is the engine's master goroutine: the only caller of
+// SubmitBatch/Wait/Reset, per taskrt's single-submitter contract.
+func (e *Engine) loop() {
+	defer close(e.loopDone)
+	var tick <-chan time.Time
+	if e.cfg.Save != nil && e.cfg.SaveEvery > 0 {
+		t := time.NewTicker(e.cfg.SaveEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	var sinceReset int
+	for {
+		select {
+		case r := <-e.reqs:
+			sinceReset += e.runGroup(r)
+			if sinceReset >= e.cfg.ResetEvery {
+				// All fresh regions from the drained batches are dead;
+				// drop their dependence state so the live-slot list
+				// stays bounded over a service lifetime.
+				e.rt.Reset()
+				sinceReset = 0
+			}
+		case c := <-e.ctl:
+			c.err <- e.save(c.path)
+		case <-tick:
+			_ = e.save("")
+		case <-e.quit:
+			for {
+				select {
+				case r := <-e.reqs:
+					e.runGroup(r)
+				default:
+					if e.cfg.Save != nil {
+						_ = e.save("")
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// statsSum folds the ATM per-type counters the group diff needs.
+func (e *Engine) statsSum() GroupStats {
+	var g GroupStats
+	if e.memo == nil {
+		return g
+	}
+	for _, ts := range e.memo.Stats().Types {
+		g.Tasks += ts.Tasks
+		g.Executed += ts.Executed
+		g.MemoTHT += ts.MemoizedTHT
+		g.MemoIKT += ts.MemoizedIKT
+	}
+	return g
+}
+
+// runGroup coalesces the first request with whatever else is already
+// queued (up to Coalesce tasks), submits the whole group as one batch,
+// runs it to the completion fence and distributes the outputs. Returns
+// the number of batches submitted (for the reset cadence).
+func (e *Engine) runGroup(first *request) int {
+	group := []*request{first}
+	total := len(first.tasks)
+	for total < e.cfg.Coalesce {
+		select {
+		case r := <-e.reqs:
+			group = append(group, r)
+			total += len(r.tasks)
+		default:
+			goto drained
+		}
+	}
+drained:
+	pre := e.statsSum()
+	entries := make([]taskrt.BatchEntry, 0, total)
+	outRegs := make([]*region.Float64, 0, total)
+	for _, r := range group {
+		for _, t := range r.tasks {
+			k := e.kinds[t.Kind]
+			out := region.NewFloat64(k.Out)
+			outRegs = append(outRegs, out)
+			entries = append(entries, taskrt.Desc(e.types[t.Kind],
+				taskrt.In(region.WrapFloat64(t.Input)), taskrt.Out(out)))
+		}
+	}
+	e.rt.SubmitBatch(entries)
+	e.rt.Wait()
+	e.batches.Add(1)
+
+	post := e.statsSum()
+	g := GroupStats{
+		Tasks:    post.Tasks - pre.Tasks,
+		Executed: post.Executed - pre.Executed,
+		MemoTHT:  post.MemoTHT - pre.MemoTHT,
+		MemoIKT:  post.MemoIKT - pre.MemoIKT,
+	}
+	i := 0
+	for _, r := range group {
+		r.outs = make([][]float64, len(r.tasks))
+		for j := range r.tasks {
+			r.outs[j] = outRegs[i].Data
+			i++
+		}
+		r.group = g
+		close(r.done)
+	}
+	e.queued.Add(-int64(total))
+	return 1
+}

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"atm/internal/core"
+	"atm/internal/persist"
+)
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := New(cfg)
+	t.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+// TestEngineExecutesCorrectly checks Do's outputs equal the kernel run
+// directly — through the full submit/coalesce/fence path, memoized or
+// not.
+func TestEngineExecutesCorrectly(t *testing.T) {
+	for _, memo := range []bool{false, true} {
+		var atm *core.ATM
+		if memo {
+			atm = core.New(core.Config{Mode: core.ModeStatic})
+		}
+		e := newTestEngine(t, Config{Workers: 2, Memo: atm})
+		k, _ := KindByName("lu")
+		in := Input(k, 3, 7)
+		want := make([]float64, k.Out)
+		k.Fn(in, want)
+		for rep := 0; rep < 3; rep++ { // repeats exercise the memoized path
+			outs, _, err := e.Do([]Task{{Kind: "lu", Input: in}})
+			if err != nil {
+				t.Fatalf("memo=%v rep=%d: %v", memo, rep, err)
+			}
+			for i := range want {
+				if outs[0][i] != want[i] {
+					t.Fatalf("memo=%v rep=%d: output[%d] = %v, want %v", memo, rep, i, outs[0][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineMemoizes drives the same inputs repeatedly and requires the
+// engine to serve later rounds from the table.
+func TestEngineMemoizes(t *testing.T) {
+	atm := core.New(core.Config{Mode: core.ModeDynamic})
+	e := newTestEngine(t, Config{Workers: 2, Memo: atm})
+	k, _ := KindByName("blackscholes")
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{Kind: "blackscholes", Input: Input(k, uint64(i%2), 1)}
+	}
+	var last GroupStats
+	for rep := 0; rep < 40; rep++ {
+		_, g, err := e.Do(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = g
+	}
+	if last.MemoTHT == 0 {
+		t.Fatalf("no THT hits after 40 identical rounds: %+v", last)
+	}
+	c := e.Counters()
+	if c.Requests != 40 || c.Tasks != 320 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+// TestEngineSheds fixes a tiny watermark and floods the engine with
+// non-memoizable spin tasks from many goroutines: some requests must be
+// shed with OverloadError, none may be lost, and every accepted task
+// completes.
+func TestEngineSheds(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, Backlog: 64, Coalesce: 16})
+	in := Input(mustKind(t, "spin"), 1, 1)
+	// Each request carries 8 spin tasks, so 32 concurrent senders keep
+	// up to 256 tasks pending against the 64-task watermark.
+	group := make([]Task, 8)
+	for i := range group {
+		group[i] = Task{Kind: "spin", Input: in}
+	}
+	var ok, shed, other int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				_, _, err := e.Do(group)
+				mu.Lock()
+				var over *OverloadError
+				switch {
+				case err == nil:
+					ok++
+				case errors.As(err, &over):
+					shed++
+				default:
+					other++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if other != 0 {
+		t.Fatalf("unexpected errors: %d", other)
+	}
+	if shed == 0 {
+		t.Fatal("no sheds despite 256 concurrent spin tasks against backlog 64")
+	}
+	if ok == 0 {
+		t.Fatal("everything shed; admission should accept up to the watermark")
+	}
+	c := e.Counters()
+	if c.Queued != 0 {
+		t.Fatalf("queued = %d after all requests returned, want 0", c.Queued)
+	}
+	if c.ShedRequests != shed || c.Requests != ok {
+		t.Fatalf("counter mismatch: %+v vs ok=%d shed=%d", c, ok, shed)
+	}
+}
+
+func mustKind(t *testing.T, name string) Kind {
+	t.Helper()
+	k, ok := KindByName(name)
+	if !ok {
+		t.Fatalf("kind %q missing", name)
+	}
+	return k
+}
+
+func TestEngineValidates(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	var bad *BadTaskError
+	if _, _, err := e.Do(nil); !errors.As(err, &bad) {
+		t.Errorf("empty list: %v", err)
+	}
+	if _, _, err := e.Do([]Task{{Kind: "nope", Input: []float64{1}}}); !errors.As(err, &bad) {
+		t.Errorf("unknown kind: %v", err)
+	}
+	if _, _, err := e.Do([]Task{{Kind: "lu", Input: []float64{1, 2}}}); !errors.As(err, &bad) {
+		t.Errorf("wrong arity: %v", err)
+	}
+}
+
+func TestEngineLookup(t *testing.T) {
+	atm := core.New(core.Config{Mode: core.ModeStatic})
+	e := newTestEngine(t, Config{Workers: 1, Memo: atm})
+	k := mustKind(t, "lu")
+	in := Input(k, 11, 0)
+	if _, hit, err := e.Lookup("lu", in); err != nil || hit {
+		t.Fatalf("pre-run lookup: hit=%v err=%v", hit, err)
+	}
+	outs, _, err := e.Do([]Task{{Kind: "lu", Input: in}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the type into steady state so the entry is installed.
+	var out []float64
+	var hit bool
+	for rep := 0; rep < 50 && !hit; rep++ {
+		if _, _, err = e.Do([]Task{{Kind: "lu", Input: in}}); err != nil {
+			t.Fatal(err)
+		}
+		out, hit, err = e.Lookup("lu", in)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !hit {
+		t.Fatal("lookup never hit after repeated executions")
+	}
+	for i := range out {
+		if out[i] != outs[0][i] {
+			t.Fatalf("lookup output[%d] = %v, want %v", i, out[i], outs[0][i])
+		}
+	}
+	var bad *BadTaskError
+	if _, _, err := e.Lookup("nope", in); !errors.As(err, &bad) {
+		t.Errorf("unknown kind lookup: %v", err)
+	}
+	if _, _, err := e.Lookup("lu", in[:3]); !errors.As(err, &bad) {
+		t.Errorf("short input lookup: %v", err)
+	}
+}
+
+func TestEngineSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	atm := core.New(core.Config{Mode: core.ModeStatic})
+	e := newTestEngine(t, Config{Workers: 1, Memo: atm})
+	k := mustKind(t, "stencil")
+	for rep := 0; rep < 30; rep++ {
+		if _, _, err := e.Do([]Task{{Kind: "stencil", Input: Input(k, 1, 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Snapshot(""); !errors.Is(err, ErrNoPersistence) {
+		t.Fatalf("pathless snapshot without Save hook: %v", err)
+	}
+	path := filepath.Join(dir, "svc.atmsnap")
+	if err := e.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := persist.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Types) == 0 {
+		t.Fatal("snapshot has no types")
+	}
+	if c := e.Counters(); c.Saves != 1 {
+		t.Fatalf("saves = %d, want 1", c.Saves)
+	}
+}
+
+func TestEngineSnapshotWithoutMemo(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	if err := e.Snapshot("x"); !errors.Is(err, ErrNoPersistence) {
+		t.Fatalf("baseline snapshot: %v", err)
+	}
+}
+
+func TestEngineClose(t *testing.T) {
+	e := New(Config{Workers: 1})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, _, err := e.Do([]Task{{Kind: "lu", Input: make([]float64, 64)}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close: %v", err)
+	}
+}

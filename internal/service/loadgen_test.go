@@ -1,0 +1,105 @@
+package service
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"atm/internal/core"
+)
+
+// TestLoadgenWarmHits is the atmload-vs-atmd smoke: an open-loop run
+// over a tiny key space against a memoizing server must finish cleanly
+// and report a positive warm-hit ratio.
+func TestLoadgenWarmHits(t *testing.T) {
+	atm := core.New(core.Config{Mode: core.ModeDynamic})
+	e := newTestEngine(t, Config{Workers: 2, Memo: atm})
+	ts := httptest.NewServer(NewServer(e))
+	defer ts.Close()
+
+	rep, err := RunLoad(LoadConfig{
+		URL:      ts.URL,
+		Rate:     5000,
+		Requests: 600,
+		Batch:    4,
+		Keys:     8, // tiny key space: repeats arrive almost immediately
+		Seed:     1,
+		InFlight: 16,
+		Timeout:  time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors: %d (first: %s)", rep.Errors, rep.FirstError)
+	}
+	if rep.OK+rep.Shed != int64(rep.Requests) {
+		t.Fatalf("ok %d + shed %d != requests %d", rep.OK, rep.Shed, rep.Requests)
+	}
+	if rep.WarmHitRatio <= 0 {
+		t.Fatalf("warm-hit ratio %.4f, want > 0 (server diff: %+v)", rep.WarmHitRatio, rep.Server)
+	}
+	if rep.P50MS <= 0 || rep.P99MS < rep.P50MS || rep.MaxMS < rep.P99MS {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v max=%v", rep.P50MS, rep.P99MS, rep.MaxMS)
+	}
+	if rep.Server.Tasks != rep.Tasks {
+		t.Fatalf("server saw %d tasks, client sent %d", rep.Server.Tasks, rep.Tasks)
+	}
+}
+
+// TestLoadgenShedsUnderOverload reproduces the CI overload probe in
+// miniature: spin-only traffic against a tiny fixed watermark must shed.
+func TestLoadgenShedsUnderOverload(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, Backlog: 64, Coalesce: 16})
+	ts := httptest.NewServer(NewServer(e))
+	defer ts.Close()
+
+	rep, err := RunLoad(LoadConfig{
+		URL:      ts.URL,
+		Rate:     4000,
+		Requests: 400,
+		Mix:      map[string]float64{"spin": 1},
+		Keys:     1 << 30, // effectively unique inputs
+		Seed:     2,
+		InFlight: 128,
+		Timeout:  time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors: %d (first: %s)", rep.Errors, rep.FirstError)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("no sheds: %+v", rep)
+	}
+	if rep.Server.ShedRequests != rep.Shed {
+		t.Fatalf("server counted %d sheds, client saw %d", rep.Server.ShedRequests, rep.Shed)
+	}
+}
+
+func TestLoadgenKeyedAndBinaryAgree(t *testing.T) {
+	atm := core.New(core.Config{Mode: core.ModeStatic})
+	e := newTestEngine(t, Config{Workers: 1, Memo: atm})
+	ts := httptest.NewServer(NewServer(e))
+	defer ts.Close()
+
+	base := LoadConfig{
+		URL: ts.URL, Rate: 10000, Requests: 100, Batch: 2,
+		Keys: 4, Seed: 3, InFlight: 8, Timeout: time.Minute,
+	}
+	for name, mod := range map[string]func(*LoadConfig){
+		"keyed":  func(c *LoadConfig) { c.KeyedBody = true },
+		"binary": func(c *LoadConfig) { c.Binary = true },
+	} {
+		cfg := base
+		mod(&cfg)
+		rep, err := RunLoad(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Errors != 0 || rep.OK != 100 {
+			t.Fatalf("%s: ok=%d errors=%d (first: %s)", name, rep.OK, rep.Errors, rep.FirstError)
+		}
+	}
+}
