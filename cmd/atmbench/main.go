@@ -37,6 +37,7 @@ import (
 
 	"atm/internal/apps"
 	"atm/internal/harness"
+	"atm/internal/hashx"
 	"atm/internal/persist"
 	"atm/internal/taskrt"
 )
@@ -64,10 +65,17 @@ func main() {
 		shardDir   = flag.String("shard-dir", "", "shardsweep: directory for the per-shard chain files and the merged snapshot (default: a temp directory)")
 		recoverStr = flag.String("recover", "strict", "damaged-snapshot policy: strict (report, run cold) | salvage (repair torn tails, warm-start the prefix) | cold (discard, run cold)")
 		noSync     = flag.Bool("nosync", false, "skip fsync on snapshot saves (benchmarking only: a crash may lose or tear the most recent saves)")
+		hashStr    = flag.String("hash", "", "ATM key hash function: lookup3 (default) | xxh3 | wyhash — folded into the snapshot fingerprint, so warm state is per-function")
 	)
 	flag.Parse()
 
 	recoverPolicy, err := harness.ParseRecoverPolicy(*recoverStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	hashFunc, err := hashx.ParseFunc(*hashStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -115,6 +123,7 @@ func main() {
 		Workers:       *workers,
 		Repeats:       *repeats,
 		Seed:          *seed,
+		Hash:          hashFunc,
 		Policy:        policy,
 		Deterministic: *det,
 		DetSched:      detSched,
@@ -272,12 +281,12 @@ func runStats(opt harness.Options, mode string, level int, ikt bool, load, save,
 				fmt.Printf("%s: chain file %s\n", name, bchain)
 			}
 		}
-		ro := harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy,
+		ro := harness.RunOptions{Seed: opt.Seed, Hash: opt.Hash, Batch: opt.Batch, Policy: opt.Policy,
 			Deterministic: opt.Deterministic, DetSched: opt.DetSched,
 			SnapshotLoad: bload, SnapshotSave: bsave, SnapshotChain: bchain, SnapshotDeltaEvery: deltaEvery,
 			Recover: opt.Recover, Sync: opt.Sync}
 		base := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, harness.Baseline(),
-			harness.RunOptions{Seed: opt.Seed, Batch: opt.Batch, Policy: opt.Policy,
+			harness.RunOptions{Seed: opt.Seed, Hash: opt.Hash, Batch: opt.Batch, Policy: opt.Policy,
 				Deterministic: opt.Deterministic, DetSched: opt.DetSched})
 		o := harness.RunOne(harness.FactoryFor(name), opt.Scale, opt.Workers, spec, ro)
 		if o.SnapshotErr != nil {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"atm/internal/harness"
+	"atm/internal/hashx"
 	"atm/internal/persist"
 	"atm/internal/service"
 )
@@ -49,6 +50,7 @@ func main() {
 		deltaEvery = flag.Duration("delta-every", 0, "also save a snapshot every interval")
 		recoverStr = flag.String("recover", "strict", "damaged-snapshot policy: strict|salvage|cold")
 		noSync     = flag.Bool("nosync", false, "skip fsync on snapshot saves (a crash may lose or tear the most recent saves)")
+		hashStr    = flag.String("hash", "", "ATM key hash function: lookup3 (default) | xxh3 | wyhash — folded into the snapshot fingerprint, so warm state is per-function")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -57,6 +59,12 @@ func main() {
 	}
 
 	recoverPolicy, err := harness.ParseRecoverPolicy(*recoverStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	hashFunc, err := hashx.ParseFunc(*hashStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -79,6 +87,7 @@ func main() {
 
 	opt := harness.RunOptions{
 		Seed:               *seed,
+		Hash:               hashFunc,
 		SnapshotPath:       *snapshot,
 		SnapshotLoad:       *loadPath,
 		SnapshotSave:       *savePath,

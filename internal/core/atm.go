@@ -37,7 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"atm/internal/jenkins"
+	"atm/internal/hashx"
 	"atm/internal/metrics"
 	"atm/internal/region"
 	"atm/internal/sampling"
@@ -102,6 +102,13 @@ type Config struct {
 	// Seed perturbs the shuffle plans and hash keys; runs with equal
 	// seeds are reproducible.
 	Seed uint64
+	// HashFunc selects the key hash function (package hashx). The zero
+	// value is hashx.Lookup3, the engine's historical hash: zero-valued
+	// configs produce bit-identical keys, snapshots and fingerprints to
+	// every release before the hash became pluggable. The choice is
+	// folded into Fingerprint, so warm state persisted under one
+	// function never restores into an engine running another.
+	HashFunc hashx.Func
 }
 
 func (c *Config) applyDefaults() {
@@ -223,9 +230,9 @@ type scratch struct {
 // workerState is the per-worker reusable machinery: the streaming hasher
 // and the scratch, padded against false sharing.
 type workerState struct {
-	hasher  *jenkins.Streaming
+	hasher  hashx.Hasher
 	scratch scratch
-	_       [40]byte
+	_       [32]byte
 }
 
 // ATM is the Approximate Task Memoization engine. It implements
@@ -268,6 +275,13 @@ type ATM struct {
 	tracking     bool
 
 	workers []workerState
+
+	// probePool recycles hashers for the out-of-band key paths (HashKey,
+	// Peek), which have no worker identity to borrow a hasher from:
+	// concurrent lookup front-ends (cmd/atmd) probe allocation-free.
+	// Pooled hashers keep their last seed, so seed-change detection in
+	// ResetSeed (hashx) skips re-derivation on repeated same-type probes.
+	probePool sync.Pool
 }
 
 type planKey struct {
@@ -290,6 +304,7 @@ func New(cfg Config) *ATM {
 		tht:   NewTHT(cfg.NBits, cfg.M),
 		names: make(map[int]string),
 	}
+	a.probePool.New = func() any { return hashx.New(cfg.HashFunc, cfg.Seed) }
 	a.saveEpoch.Store(1)
 	return a
 }
@@ -300,7 +315,7 @@ func (a *ATM) BindRuntime(rt *taskrt.Runtime) {
 	a.ikt = NewIKT(rt.Workers())
 	a.workers = make([]workerState, rt.Workers())
 	for i := range a.workers {
-		a.workers[i].hasher = jenkins.NewStreaming(a.cfg.Seed)
+		a.workers[i].hasher = hashx.New(a.cfg.HashFunc, a.cfg.Seed)
 	}
 }
 
@@ -416,12 +431,18 @@ func (ts *typeState) shard(w int) *typeShard {
 
 // hasherFor returns worker w's reusable hasher, or a fresh one for
 // out-of-band callers.
-func (a *ATM) hasherFor(w int) *jenkins.Streaming {
+func (a *ATM) hasherFor(w int) hashx.Hasher {
 	if w >= 0 && w < len(a.workers) {
 		return a.workers[w].hasher
 	}
-	return jenkins.NewStreaming(a.cfg.Seed)
+	return hashx.New(a.cfg.HashFunc, a.cfg.Seed)
 }
+
+// probeHasher borrows a pooled hasher for an out-of-band key
+// computation; return it with releaseProbe. Unlike hasherFor's
+// fallback this never allocates in steady state.
+func (a *ATM) probeHasher() hashx.Hasher   { return a.probePool.Get().(hashx.Hasher) }
+func (a *ATM) releaseProbe(h hashx.Hasher) { a.probePool.Put(h) }
 
 // FNV-1a parameters shared by typeSeed and Fingerprint (snapshot.go):
 // one definition, so the two hashes cannot drift apart by a constant
@@ -483,19 +504,22 @@ func (a *ATM) planFor(typeID int, tseed uint64, sig uint64, ins []region.Region)
 // At level 15 (p = 100%) the whole input is streamed element-wise; below
 // that, the cached shuffled index prefix selects the sampled bytes.
 func (a *ATM) HashKey(t *taskrt.Task, level int) uint64 {
-	return a.hashKeyInto(t, a.state(t.Type()), level, jenkins.NewStreaming(0))
+	h := a.probeHasher()
+	key := a.hashKeyInto(t, a.state(t.Type()), level, h)
+	a.releaseProbe(h)
+	return key
 }
 
 // hashKeyInto is HashKey on a caller-owned hasher: the worker fast path,
 // free of allocation and locks.
-func (a *ATM) hashKeyInto(t *taskrt.Task, ts *typeState, level int, h *jenkins.Streaming) uint64 {
+func (a *ATM) hashKeyInto(t *taskrt.Task, ts *typeState, level int, h hashx.Hasher) uint64 {
 	return a.hashIns(t.Type().ID(), ts, t.Inputs(), level, h)
 }
 
 // hashIns is the shape-agnostic key computation shared by the worker
 // fast path (hashKeyInto) and out-of-band probes (Peek): callers that
 // have input regions but no carved task hash through here.
-func (a *ATM) hashIns(typeID int, ts *typeState, ins []region.Region, level int, h *jenkins.Streaming) uint64 {
+func (a *ATM) hashIns(typeID int, ts *typeState, ins []region.Region, level int, h hashx.Hasher) uint64 {
 	sig := sampling.SignatureOf(ins)
 	seed := a.cfg.Seed ^ sig ^ (ts.seed|1)*0xc2b2ae3d27d4eb4f
 	h.ResetSeed(seed)
@@ -533,7 +557,9 @@ func (a *ATM) hashIns(typeID int, ts *typeState, ins []region.Region, level int,
 func (a *ATM) Peek(tt *taskrt.TaskType, ins, outs []region.Region) bool {
 	ts := a.state(tt)
 	_, level := ts.load()
-	key := a.hashIns(tt.ID(), ts, ins, level, jenkins.NewStreaming(0))
+	h := a.probeHasher()
+	key := a.hashIns(tt.ID(), ts, ins, level, h)
+	a.releaseProbe(h)
 	e := a.tht.Lookup(tt.ID(), key, int8(level))
 	if e == nil {
 		return false

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"atm/internal/apps"
+	"atm/internal/core"
+	"atm/internal/hashx"
+)
+
+// TestWarmStartRoundTripPerHash is the harness half of the pluggable-
+// hash property test: for every registered hash function and every
+// benchmark application, a static-ATM run saved to a snapshot must
+// warm-start a second run under the same function (entries restored,
+// outputs bit-identical to the cold run), and the snapshot must be
+// rejected with the typed config-mismatch error when loaded under any
+// other function.
+func TestWarmStartRoundTripPerHash(t *testing.T) {
+	for _, f := range hashx.Funcs() {
+		for _, name := range Benchmarks() {
+			t.Run(f.String()+"/"+name, func(t *testing.T) {
+				snap := filepath.Join(t.TempDir(), "warm.atmsnap")
+				factory := FactoryFor(name)
+
+				cold := RunOne(factory, apps.ScaleTest, 2, Static(true), RunOptions{
+					Hash: f, SnapshotSave: snap,
+				})
+				if cold.SnapshotErr != nil {
+					t.Fatalf("cold save: %v", cold.SnapshotErr)
+				}
+
+				warm := RunOne(factory, apps.ScaleTest, 2, Static(true), RunOptions{
+					Hash: f, SnapshotLoad: snap,
+				})
+				if warm.SnapshotErr != nil {
+					t.Fatalf("warm load: %v", warm.SnapshotErr)
+				}
+				if !warm.WarmStart || warm.RestoredEntries == 0 {
+					t.Fatalf("warm start must restore entries: warm=%v restored=%d",
+						warm.WarmStart, warm.RestoredEntries)
+				}
+				cr, wr := cold.App.Result(), warm.App.Result()
+				if len(cr) != len(wr) {
+					t.Fatalf("result lengths differ: %d != %d", len(cr), len(wr))
+				}
+				for i := range cr {
+					if !wr[i].EqualContents(cr[i]) {
+						t.Fatalf("result region %d diverges between cold and warm run", i)
+					}
+				}
+
+				// Any other function must reject the warm state.
+				for _, g := range hashx.Funcs() {
+					if g == f {
+						continue
+					}
+					cross := RunOne(factory, apps.ScaleTest, 2, Static(true), RunOptions{
+						Hash: g, SnapshotLoad: snap,
+					})
+					if !errors.Is(cross.SnapshotErr, core.ErrSnapshotConfig) {
+						t.Fatalf("loading %v snapshot under %v: err=%v, want ErrSnapshotConfig",
+							f, g, cross.SnapshotErr)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package hashx
+
+import "atm/internal/jenkins"
+
+// Lookup3 is jenkins.Streaming behind the Hasher interface: the engine's
+// historical hash, bit-identical to every key and snapshot produced
+// before the hashx layer existed, which is why it is the default Func.
+func init() {
+	register(Lookup3, "lookup3", func(seed uint64) Hasher {
+		return jenkins.NewStreaming(seed)
+	})
+}

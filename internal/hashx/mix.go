@@ -1,0 +1,24 @@
+package hashx
+
+import "math/bits"
+
+// mum is the MUM primitive shared by the fast hashes: the folded 128-bit
+// product of x and y. One 64×64→128 multiply mixes all 64 input bit
+// positions of both operands into both halves; the xor-fold keeps the
+// result invertible in neither operand, which is what makes it a good
+// one-way mixer at one multiply of cost.
+func mum(x, y uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	return hi ^ lo
+}
+
+// splitmix64 advances *x and returns the next value of the splitmix64
+// sequence: the seed expander for the xxh3-style secret (a small, fast
+// PRNG whose outputs are equidistributed over uint64).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}

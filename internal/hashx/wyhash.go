@@ -1,0 +1,249 @@
+package hashx
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func init() {
+	register(Wyhash, "wyhash", func(seed uint64) Hasher { return newWyhash(seed) })
+}
+
+// wyhash secret constants (the published wyhash primes: odd, balanced
+// popcount, empirically strong under MUM folding).
+const (
+	wyp0 = 0xa0761d6478bd642f
+	wyp1 = 0xe7037ed1a0b428db
+	wyp2 = 0x8ebc6af09c88c6e3
+	wyp3 = 0x589965cc75374cc3
+	wyp4 = 0x1d8e4e27c47d124f
+)
+
+// wyBlock is the block size: six 64-bit lanes, two per MUM chain.
+const wyBlock = 48
+
+// wyhashState is a wyhash-style streaming hash: 48-byte blocks feed
+// three independent MUM chains (so the three multiplies of a block have
+// no data dependence between them and pipeline freely — the "wide
+// scalar" in the package comment), and the chains fold together at
+// finalization. Chaining each lane pair through its running state makes
+// the hash position-dependent: swapping two blocks changes the sum.
+type wyhashState struct {
+	s0, s1, s2 uint64
+	buf        [wyBlock]byte
+	n          int // bytes in buf
+	total      int // total bytes written
+	seed       uint64
+}
+
+func newWyhash(seed uint64) *wyhashState {
+	w := &wyhashState{seed: seed}
+	w.Reset()
+	return w
+}
+
+// Reset implements Hasher.
+func (w *wyhashState) Reset() {
+	w.s0 = w.seed ^ wyp0
+	w.s1 = w.seed ^ wyp1
+	w.s2 = w.seed ^ wyp2
+	w.n = 0
+	w.total = 0
+}
+
+// ResetSeed implements Hasher.
+func (w *wyhashState) ResetSeed(seed uint64) {
+	w.seed = seed
+	w.Reset()
+}
+
+// block folds one 48-byte block (six lanes) into the three chains.
+func (w *wyhashState) block(a, b, c, d, e, f uint64) {
+	w.s0 = mum(a^wyp1, b^w.s0)
+	w.s1 = mum(c^wyp2, d^w.s1)
+	w.s2 = mum(e^wyp3, f^w.s2)
+}
+
+func (w *wyhashState) flushFull() {
+	w.block(
+		binary.LittleEndian.Uint64(w.buf[0:]),
+		binary.LittleEndian.Uint64(w.buf[8:]),
+		binary.LittleEndian.Uint64(w.buf[16:]),
+		binary.LittleEndian.Uint64(w.buf[24:]),
+		binary.LittleEndian.Uint64(w.buf[32:]),
+		binary.LittleEndian.Uint64(w.buf[40:]),
+	)
+	w.n = 0
+}
+
+// WriteByte implements Hasher.
+func (w *wyhashState) WriteByte(x byte) error {
+	w.buf[w.n] = x
+	w.n++
+	w.total++
+	if w.n == wyBlock {
+		w.flushFull()
+	}
+	return nil
+}
+
+// WriteUint16 implements Hasher.
+func (w *wyhashState) WriteUint16(u uint16) {
+	if w.n <= wyBlock-2 {
+		binary.LittleEndian.PutUint16(w.buf[w.n:], u)
+		w.n += 2
+		w.total += 2
+		if w.n == wyBlock {
+			w.flushFull()
+		}
+		return
+	}
+	_ = w.WriteByte(byte(u))
+	_ = w.WriteByte(byte(u >> 8))
+}
+
+// WriteUint32 implements Hasher.
+func (w *wyhashState) WriteUint32(u uint32) {
+	if w.n <= wyBlock-4 {
+		binary.LittleEndian.PutUint32(w.buf[w.n:], u)
+		w.n += 4
+		w.total += 4
+		if w.n == wyBlock {
+			w.flushFull()
+		}
+		return
+	}
+	w.WriteUint16(uint16(u))
+	w.WriteUint16(uint16(u >> 16))
+}
+
+// WriteUint64 implements Hasher.
+func (w *wyhashState) WriteUint64(u uint64) {
+	if w.n <= wyBlock-8 {
+		binary.LittleEndian.PutUint64(w.buf[w.n:], u)
+		w.n += 8
+		w.total += 8
+		if w.n == wyBlock {
+			w.flushFull()
+		}
+		return
+	}
+	w.WriteUint32(uint32(u))
+	w.WriteUint32(uint32(u >> 32))
+}
+
+// WriteFloat64s implements Hasher: six elements per block, read straight
+// from the slice with no buffer shuffling once block-aligned.
+func (w *wyhashState) WriteFloat64s(d []float64) {
+	i := 0
+	for ; i < len(d) && w.n != 0; i++ {
+		w.WriteUint64(math.Float64bits(d[i]))
+	}
+	for ; i+6 <= len(d); i += 6 {
+		w.block(
+			math.Float64bits(d[i]), math.Float64bits(d[i+1]),
+			math.Float64bits(d[i+2]), math.Float64bits(d[i+3]),
+			math.Float64bits(d[i+4]), math.Float64bits(d[i+5]),
+		)
+		w.total += wyBlock
+	}
+	for ; i < len(d); i++ {
+		w.WriteUint64(math.Float64bits(d[i]))
+	}
+}
+
+// WriteFloat32s implements Hasher: twelve elements per block, two per
+// lane.
+func (w *wyhashState) WriteFloat32s(d []float32) {
+	i := 0
+	for ; i < len(d) && w.n != 0; i++ {
+		w.WriteUint32(math.Float32bits(d[i]))
+	}
+	for ; i+12 <= len(d); i += 12 {
+		w.block(
+			lane32(math.Float32bits(d[i]), math.Float32bits(d[i+1])),
+			lane32(math.Float32bits(d[i+2]), math.Float32bits(d[i+3])),
+			lane32(math.Float32bits(d[i+4]), math.Float32bits(d[i+5])),
+			lane32(math.Float32bits(d[i+6]), math.Float32bits(d[i+7])),
+			lane32(math.Float32bits(d[i+8]), math.Float32bits(d[i+9])),
+			lane32(math.Float32bits(d[i+10]), math.Float32bits(d[i+11])),
+		)
+		w.total += wyBlock
+	}
+	for ; i < len(d); i++ {
+		w.WriteUint32(math.Float32bits(d[i]))
+	}
+}
+
+// WriteInt32s implements Hasher.
+func (w *wyhashState) WriteInt32s(d []int32) {
+	i := 0
+	for ; i < len(d) && w.n != 0; i++ {
+		w.WriteUint32(uint32(d[i]))
+	}
+	for ; i+12 <= len(d); i += 12 {
+		w.block(
+			lane32(uint32(d[i]), uint32(d[i+1])),
+			lane32(uint32(d[i+2]), uint32(d[i+3])),
+			lane32(uint32(d[i+4]), uint32(d[i+5])),
+			lane32(uint32(d[i+6]), uint32(d[i+7])),
+			lane32(uint32(d[i+8]), uint32(d[i+9])),
+			lane32(uint32(d[i+10]), uint32(d[i+11])),
+		)
+		w.total += wyBlock
+	}
+	for ; i < len(d); i++ {
+		w.WriteUint32(uint32(d[i]))
+	}
+}
+
+// lane32 packs two 32-bit values into one little-endian 64-bit lane
+// (lo occupies the lower bytes of the stream).
+func lane32(lo, hi uint32) uint64 { return uint64(lo) | uint64(hi)<<32 }
+
+// WriteBytes implements Hasher.
+func (w *wyhashState) WriteBytes(p []byte) {
+	i := 0
+	for ; i < len(p) && w.n != 0; i++ {
+		_ = w.WriteByte(p[i])
+	}
+	for ; i+wyBlock <= len(p); i += wyBlock {
+		w.block(
+			binary.LittleEndian.Uint64(p[i:]),
+			binary.LittleEndian.Uint64(p[i+8:]),
+			binary.LittleEndian.Uint64(p[i+16:]),
+			binary.LittleEndian.Uint64(p[i+24:]),
+			binary.LittleEndian.Uint64(p[i+32:]),
+			binary.LittleEndian.Uint64(p[i+40:]),
+		)
+		w.total += wyBlock
+	}
+	for ; i < len(p); i++ {
+		_ = w.WriteByte(p[i])
+	}
+}
+
+// Sum64 implements Hasher. The buffered tail (up to 47 bytes) folds
+// through the first chain in zero-padded 16-byte chunks; padding is
+// unambiguous because the total length enters the finalization.
+func (w *wyhashState) Sum64() uint64 {
+	s0 := w.s0
+	i := 0
+	for ; i+16 <= w.n; i += 16 {
+		s0 = mum(binary.LittleEndian.Uint64(w.buf[i:])^wyp1,
+			binary.LittleEndian.Uint64(w.buf[i+8:])^s0)
+	}
+	if i < w.n {
+		var pad [16]byte
+		copy(pad[:], w.buf[i:w.n])
+		s0 = mum(binary.LittleEndian.Uint64(pad[:])^wyp1,
+			binary.LittleEndian.Uint64(pad[8:])^s0)
+	}
+	h := mum(s0^w.s1^w.s2^wyp2, uint64(w.total)^w.seed^wyp4)
+	// Final avalanche (murmur3-style) so low and high result bits both
+	// react to every input bit even for tiny inputs.
+	h ^= h >> 29
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 32
+	return h
+}

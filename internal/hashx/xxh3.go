@@ -1,0 +1,315 @@
+package hashx
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func init() {
+	register(XXH3, "xxh3", func(seed uint64) Hasher { return newXXH3(seed) })
+}
+
+// Stripe geometry. A stripe is 64 bytes — 8 lanes of 64 bits — and a
+// block is 16 stripes (1 KiB): the secret window slides one word per
+// stripe (making the hash position-dependent within a block) and the
+// accumulators are scrambled at every block boundary (making it
+// position-dependent across blocks). This is xxh3's long-input layout;
+// see the package comment for how this variant deviates from the
+// reference.
+const (
+	stripeBytes     = 64
+	stripeLanes     = 8
+	stripesPerBlock = 16
+	// secretWords is sized so stripe s of a block reads words [s, s+8):
+	// the last stripe (s = 15) reaches word 22.
+	secretWords = stripesPerBlock + stripeLanes
+)
+
+const (
+	prime32x1 = 2654435761         // xxh32 prime 1: the scramble multiplier
+	prime64x1 = 0x9e3779b185ebca87 // xxh64 prime 1: the length mixer
+	// secretSeedK decorrelates the secret-derivation stream from raw
+	// seed values (splitmix64 of adjacent seeds would otherwise share a
+	// trajectory).
+	secretSeedK = 0x1cad21f72c81017c
+)
+
+// xxh3State is the streaming state. The secret, scramble keys, merge
+// keys and initial accumulators are all derived from the seed once and
+// cached: ResetSeed with an unchanged seed (the per-task fast path —
+// workers hash long runs of same-type tasks) is a plain state reset.
+type xxh3State struct {
+	acc      [stripeLanes]uint64
+	secret   [secretWords]uint64
+	scramKey [stripeLanes]uint64 // block-boundary scramble xor keys
+	fsec     [stripeLanes]uint64 // finalization merge keys
+	accInit  [stripeLanes]uint64 // seed-derived accumulator start
+	buf      [stripeBytes]byte
+	n        int // bytes in buf
+	stripe   int // stripes accumulated in the current block (0..15)
+	total    int // total bytes written
+	seed     uint64
+}
+
+func newXXH3(seed uint64) *xxh3State {
+	s := &xxh3State{seed: seed}
+	s.derive()
+	s.Reset()
+	return s
+}
+
+// derive expands the seed into the secret schedule.
+func (s *xxh3State) derive() {
+	st := s.seed ^ secretSeedK
+	for i := range s.secret {
+		s.secret[i] = splitmix64(&st)
+	}
+	for i := range s.scramKey {
+		s.scramKey[i] = splitmix64(&st)
+	}
+	for i := range s.fsec {
+		s.fsec[i] = splitmix64(&st)
+	}
+	for i := range s.accInit {
+		s.accInit[i] = splitmix64(&st)
+	}
+}
+
+// Reset implements Hasher.
+func (s *xxh3State) Reset() {
+	s.acc = s.accInit
+	s.n = 0
+	s.stripe = 0
+	s.total = 0
+}
+
+// ResetSeed implements Hasher. The secret schedule is re-derived only
+// when the seed actually changes.
+func (s *xxh3State) ResetSeed(seed uint64) {
+	if seed != s.seed {
+		s.seed = seed
+		s.derive()
+	}
+	s.Reset()
+}
+
+// scramble ends a 16-stripe block: each accumulator is folded onto
+// itself, masked with its scramble key and multiplied, so stripe
+// positions in different blocks contribute differently.
+func (s *xxh3State) scramble() {
+	for i := range s.acc {
+		a := s.acc[i]
+		a ^= a >> 47
+		a ^= s.scramKey[i]
+		s.acc[i] = a * prime32x1
+	}
+	s.stripe = 0
+}
+
+// flushFull folds the full 64-byte buffer as one stripe.
+func (s *xxh3State) flushFull() {
+	var lanes [stripeLanes]uint64
+	for i := range lanes {
+		lanes[i] = binary.LittleEndian.Uint64(s.buf[8*i:])
+	}
+	accumulateStripe(&s.acc, &lanes, s.secret[s.stripe:])
+	s.n = 0
+	s.stripe++
+	if s.stripe == stripesPerBlock {
+		s.scramble()
+	}
+}
+
+// WriteByte implements Hasher.
+func (s *xxh3State) WriteByte(x byte) error {
+	s.buf[s.n] = x
+	s.n++
+	s.total++
+	if s.n == stripeBytes {
+		s.flushFull()
+	}
+	return nil
+}
+
+// WriteUint16 implements Hasher.
+func (s *xxh3State) WriteUint16(u uint16) {
+	if s.n <= stripeBytes-2 {
+		binary.LittleEndian.PutUint16(s.buf[s.n:], u)
+		s.n += 2
+		s.total += 2
+		if s.n == stripeBytes {
+			s.flushFull()
+		}
+		return
+	}
+	_ = s.WriteByte(byte(u))
+	_ = s.WriteByte(byte(u >> 8))
+}
+
+// WriteUint32 implements Hasher.
+func (s *xxh3State) WriteUint32(u uint32) {
+	if s.n <= stripeBytes-4 {
+		binary.LittleEndian.PutUint32(s.buf[s.n:], u)
+		s.n += 4
+		s.total += 4
+		if s.n == stripeBytes {
+			s.flushFull()
+		}
+		return
+	}
+	s.WriteUint16(uint16(u))
+	s.WriteUint16(uint16(u >> 16))
+}
+
+// WriteUint64 implements Hasher.
+func (s *xxh3State) WriteUint64(u uint64) {
+	if s.n <= stripeBytes-8 {
+		binary.LittleEndian.PutUint64(s.buf[s.n:], u)
+		s.n += 8
+		s.total += 8
+		if s.n == stripeBytes {
+			s.flushFull()
+		}
+		return
+	}
+	s.WriteUint32(uint32(u))
+	s.WriteUint32(uint32(u >> 32))
+}
+
+// bulkStripes runs the shared bulk-write skeleton: while at least one
+// whole stripe of input remains, hand the largest run that fits the
+// current block to the architecture kernel, then scramble on block
+// boundaries. elems is the element count per stripe; consume processes
+// d[i:i+k*elems] (k whole stripes) and is the arch seam.
+//
+// The skeleton is inlined into each typed writer below rather than
+// abstracted over a closure: the bulk path is the reason this package
+// exists, and a closure per Write call would allocate.
+
+// WriteFloat64s implements Hasher: eight elements per stripe, read
+// straight from the slice by the architecture kernel.
+func (s *xxh3State) WriteFloat64s(d []float64) {
+	i := 0
+	for ; i < len(d) && s.n != 0; i++ {
+		s.WriteUint64(math.Float64bits(d[i]))
+	}
+	for len(d)-i >= stripeLanes {
+		k := (len(d) - i) / stripeLanes
+		if m := stripesPerBlock - s.stripe; k > m {
+			k = m
+		}
+		accumFloat64s(s, d[i:i+k*stripeLanes])
+		i += k * stripeLanes
+		s.total += k * stripeBytes
+		s.stripe += k
+		if s.stripe == stripesPerBlock {
+			s.scramble()
+		}
+	}
+	for ; i < len(d); i++ {
+		s.WriteUint64(math.Float64bits(d[i]))
+	}
+}
+
+// WriteFloat32s implements Hasher: sixteen elements per stripe.
+func (s *xxh3State) WriteFloat32s(d []float32) {
+	const perStripe = stripeBytes / 4
+	i := 0
+	for ; i < len(d) && s.n != 0; i++ {
+		s.WriteUint32(math.Float32bits(d[i]))
+	}
+	for len(d)-i >= perStripe {
+		k := (len(d) - i) / perStripe
+		if m := stripesPerBlock - s.stripe; k > m {
+			k = m
+		}
+		accumFloat32s(s, d[i:i+k*perStripe])
+		i += k * perStripe
+		s.total += k * stripeBytes
+		s.stripe += k
+		if s.stripe == stripesPerBlock {
+			s.scramble()
+		}
+	}
+	for ; i < len(d); i++ {
+		s.WriteUint32(math.Float32bits(d[i]))
+	}
+}
+
+// WriteInt32s implements Hasher: sixteen elements per stripe.
+func (s *xxh3State) WriteInt32s(d []int32) {
+	const perStripe = stripeBytes / 4
+	i := 0
+	for ; i < len(d) && s.n != 0; i++ {
+		s.WriteUint32(uint32(d[i]))
+	}
+	for len(d)-i >= perStripe {
+		k := (len(d) - i) / perStripe
+		if m := stripesPerBlock - s.stripe; k > m {
+			k = m
+		}
+		accumInt32s(s, d[i:i+k*perStripe])
+		i += k * perStripe
+		s.total += k * stripeBytes
+		s.stripe += k
+		if s.stripe == stripesPerBlock {
+			s.scramble()
+		}
+	}
+	for ; i < len(d); i++ {
+		s.WriteUint32(uint32(d[i]))
+	}
+}
+
+// WriteBytes implements Hasher: 64 bytes per stripe.
+func (s *xxh3State) WriteBytes(p []byte) {
+	i := 0
+	for ; i < len(p) && s.n != 0; i++ {
+		_ = s.WriteByte(p[i])
+	}
+	for len(p)-i >= stripeBytes {
+		k := (len(p) - i) / stripeBytes
+		if m := stripesPerBlock - s.stripe; k > m {
+			k = m
+		}
+		accumBytes(s, p[i:i+k*stripeBytes])
+		i += k * stripeBytes
+		s.total += k * stripeBytes
+		s.stripe += k
+		if s.stripe == stripesPerBlock {
+			s.scramble()
+		}
+	}
+	for ; i < len(p); i++ {
+		_ = s.WriteByte(p[i])
+	}
+}
+
+// Sum64 implements Hasher: fold the buffered partial stripe (zero-padded
+// to lane width — unambiguous because the total length enters the merge)
+// into a copy of the accumulators, then merge lane pairs with MUM under
+// the finalization keys and avalanche. State is not consumed.
+func (s *xxh3State) Sum64() uint64 {
+	acc := s.acc
+	if s.n > 0 {
+		var tail [stripeBytes]byte
+		copy(tail[:], s.buf[:s.n])
+		nw := (s.n + 7) / 8
+		sec := s.secret[s.stripe:]
+		for j := 0; j < nw; j++ {
+			lane := binary.LittleEndian.Uint64(tail[8*j:])
+			dk := lane ^ sec[j]
+			acc[j^1] += lane
+			acc[j] += uint64(uint32(dk)) * (dk >> 32)
+		}
+	}
+	h := s.seed ^ uint64(s.total)*prime64x1
+	for i := 0; i < stripeLanes; i += 2 {
+		h += mum(acc[i]^s.fsec[i], acc[i+1]^s.fsec[i+1])
+	}
+	// xxh3's final avalanche.
+	h ^= h >> 37
+	h *= 0x165667919e3779f9
+	h ^= h >> 32
+	return h
+}

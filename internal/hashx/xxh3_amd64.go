@@ -1,0 +1,96 @@
+//go:build amd64 && !purego
+
+package hashx
+
+import "unsafe"
+
+// useAVX2 selects the AVX2 stripe kernel at package init. It is a
+// variable (not a constant) so the differential tests can force the
+// scalar path on AVX2 machines and compare.
+var useAVX2 = detectAVX2()
+
+// vectorKernelAvailable reports whether this machine has a vector
+// stripe kernel to test against the scalar reference.
+func vectorKernelAvailable() bool { return detectAVX2() }
+
+// setVectorKernel forces the vector kernel on or off and returns a
+// restore func. Test hook only; not safe under concurrent hashing.
+func setVectorKernel(on bool) (restore func()) {
+	prev := useAVX2
+	useAVX2 = on && detectAVX2()
+	return func() { useAVX2 = prev }
+}
+
+// accumStripesAVX2 folds n contiguous 64-byte stripes starting at p
+// into acc, reading the secret window starting at sec and sliding it
+// one word per stripe. Bit-identical to accumulateStripe applied n
+// times. Implemented in xxh3_amd64.s.
+//
+//go:noescape
+func accumStripesAVX2(acc *[stripeLanes]uint64, p unsafe.Pointer, sec *uint64, n int)
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (XCR0).
+func xgetbv0() uint64
+
+// detectAVX2 reports AVX2 support the conservative way: the CPU must
+// advertise AVX2, and the OS must have enabled XMM+YMM state saving
+// (OSXSAVE set and XCR0 bits 1 and 2 set) — AVX2 without OS support
+// faults on the first VEX.256 instruction.
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	if xgetbv0()&0x6 != 0x6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// The four typed bulk writers share one byte-stream kernel: on this
+// little-endian architecture the in-memory bytes of []float64,
+// []float32, []int32 and []byte slices ARE the little-endian hash
+// stream, so the kernel just reads 64-byte stripes from the slice base.
+
+func accumFloat64s(s *xxh3State, d []float64) {
+	if useAVX2 {
+		accumStripesAVX2(&s.acc, unsafe.Pointer(&d[0]), &s.secret[s.stripe], len(d)/stripeLanes)
+		return
+	}
+	accumFloat64sScalar(s, d)
+}
+
+func accumFloat32s(s *xxh3State, d []float32) {
+	if useAVX2 {
+		accumStripesAVX2(&s.acc, unsafe.Pointer(&d[0]), &s.secret[s.stripe], len(d)*4/stripeBytes)
+		return
+	}
+	accumFloat32sScalar(s, d)
+}
+
+func accumInt32s(s *xxh3State, d []int32) {
+	if useAVX2 {
+		accumStripesAVX2(&s.acc, unsafe.Pointer(&d[0]), &s.secret[s.stripe], len(d)*4/stripeBytes)
+		return
+	}
+	accumInt32sScalar(s, d)
+}
+
+func accumBytes(s *xxh3State, p []byte) {
+	if useAVX2 {
+		accumStripesAVX2(&s.acc, unsafe.Pointer(&p[0]), &s.secret[s.stripe], len(p)/stripeBytes)
+		return
+	}
+	accumBytesScalar(s, p)
+}

@@ -1,0 +1,76 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func accumStripesAVX2(acc *[8]uint64, p unsafe.Pointer, sec *uint64, n int)
+//
+// Folds n 64-byte stripes at p into the eight 64-bit accumulators,
+// sliding the secret window one 64-bit word per stripe. Per stripe,
+// vectorized four lanes at a time (Y0 = acc[0..3], Y1 = acc[4..7]):
+//
+//	dk       = lanes ^ secret            VPXOR with memory operand
+//	hi       = dk >> 32 (per 64)         VPSHUFD $0xF5 duplicates the
+//	                                     odd 32-bit elements downward
+//	acc     += lo32(dk) * hi32(dk)       VPMULUDQ multiplies the low
+//	                                     32 bits of each 64-bit element
+//	acc     += swap-pairs(lanes)         VPSHUFD $0x4E swaps the 64-bit
+//	                                     halves of each 128-bit lane,
+//	                                     which is exactly acc[i^1] += lane
+//
+// All loads are unaligned-safe (VEX-encoded memory operands).
+TEXT ·accumStripesAVX2(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ p+8(FP), SI
+	MOVQ sec+16(FP), DX
+	MOVQ n+24(FP), CX
+	TESTQ CX, CX
+	JZ   empty
+	VMOVDQU (DI), Y0
+	VMOVDQU 32(DI), Y1
+
+loop:
+	VMOVDQU (SI), Y2           // lanes 0..3
+	VMOVDQU 32(SI), Y3         // lanes 4..7
+	VPXOR   (DX), Y2, Y4       // dk 0..3
+	VPXOR   32(DX), Y3, Y5     // dk 4..7
+	VPSHUFD $0xF5, Y4, Y6      // hi32(dk) in every 32-bit slot
+	VPSHUFD $0xF5, Y5, Y7
+	VPMULUDQ Y6, Y4, Y4        // lo32(dk) * hi32(dk) per 64-bit lane
+	VPMULUDQ Y7, Y5, Y5
+	VPADDQ  Y4, Y0, Y0
+	VPADDQ  Y5, Y1, Y1
+	VPSHUFD $0x4E, Y2, Y2      // lanes pair-swapped: [1,0,3,2]
+	VPSHUFD $0x4E, Y3, Y3
+	VPADDQ  Y2, Y0, Y0
+	VPADDQ  Y3, Y1, Y1
+	ADDQ    $64, SI
+	ADDQ    $8, DX             // slide secret window one word
+	DECQ    CX
+	JNZ     loop
+
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+
+empty:
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint64
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,66 @@
+//go:build arm64 && !purego
+
+package hashx
+
+import "unsafe"
+
+// NEON (Advanced SIMD) is baseline on arm64: no runtime detection
+// needed, the kernel is always used. useNEON exists only so the
+// differential tests can force the scalar path and compare.
+var useNEON = true
+
+// vectorKernelAvailable reports whether this machine has a vector
+// stripe kernel to test against the scalar reference.
+func vectorKernelAvailable() bool { return true }
+
+// setVectorKernel forces the vector kernel on or off and returns a
+// restore func. Test hook only; not safe under concurrent hashing.
+func setVectorKernel(on bool) (restore func()) {
+	prev := useNEON
+	useNEON = on
+	return func() { useNEON = prev }
+}
+
+// accumStripesNEON folds n contiguous 64-byte stripes starting at p
+// into acc, reading the secret window starting at sec and sliding it
+// one word per stripe. Bit-identical to accumulateStripe applied n
+// times. Implemented in xxh3_arm64.s.
+//
+//go:noescape
+func accumStripesNEON(acc *[stripeLanes]uint64, p unsafe.Pointer, sec *uint64, n int)
+
+// As on amd64, the four typed bulk writers share one byte-stream
+// kernel: the in-memory little-endian bytes of the slices ARE the hash
+// stream.
+
+func accumFloat64s(s *xxh3State, d []float64) {
+	if useNEON {
+		accumStripesNEON(&s.acc, unsafe.Pointer(&d[0]), &s.secret[s.stripe], len(d)/stripeLanes)
+		return
+	}
+	accumFloat64sScalar(s, d)
+}
+
+func accumFloat32s(s *xxh3State, d []float32) {
+	if useNEON {
+		accumStripesNEON(&s.acc, unsafe.Pointer(&d[0]), &s.secret[s.stripe], len(d)*4/stripeBytes)
+		return
+	}
+	accumFloat32sScalar(s, d)
+}
+
+func accumInt32s(s *xxh3State, d []int32) {
+	if useNEON {
+		accumStripesNEON(&s.acc, unsafe.Pointer(&d[0]), &s.secret[s.stripe], len(d)*4/stripeBytes)
+		return
+	}
+	accumInt32sScalar(s, d)
+}
+
+func accumBytes(s *xxh3State, p []byte) {
+	if useNEON {
+		accumStripesNEON(&s.acc, unsafe.Pointer(&p[0]), &s.secret[s.stripe], len(p)/stripeBytes)
+		return
+	}
+	accumBytesScalar(s, p)
+}

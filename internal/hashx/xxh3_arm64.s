@@ -1,0 +1,69 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// func accumStripesNEON(acc *[8]uint64, p unsafe.Pointer, sec *uint64, n int)
+//
+// Folds n 64-byte stripes at p into the eight 64-bit accumulators,
+// sliding the secret window one 64-bit word per stripe. The eight
+// lanes are processed as four 128-bit vectors of two lanes each
+// (V0..V3 hold acc[0..7]). Per two-lane vector:
+//
+//	dk  = lanes ^ secret                     VEOR
+//	lo  = UZP1(dk, dk) lower half            [lo32(dk0), lo32(dk1)]
+//	hi  = UZP2(dk, dk) lower half            [hi32(dk0), hi32(dk1)]
+//	acc += widen(lo) * widen(hi)             UMLAL Vd.2D, Vn.2S, Vm.2S
+//	acc += swap64(lanes)                     VEXT $8 self-rotates the
+//	                                         vector, i.e. acc[i^1] += lane
+//
+// The Go assembler has no mnemonic for vector UMLAL, so the four
+// multiply-accumulates are WORD-encoded: UMLAL Vd.2D, Vn.2S, Vm.2S is
+// 0x2EA08000 | Rm<<16 | Rn<<5 | Rd (U=1, size=10, Q=0).
+TEXT ·accumStripesNEON(SB), NOSPLIT, $0-32
+	MOVD acc+0(FP), R0
+	MOVD p+8(FP), R1
+	MOVD sec+16(FP), R2
+	MOVD n+24(FP), R3
+	CBZ  R3, empty
+	VLD1 (R0), [V0.D2, V1.D2, V2.D2, V3.D2]
+
+loop:
+	VLD1.P 64(R1), [V4.D2, V5.D2, V6.D2, V7.D2]   // lanes
+	VLD1   (R2), [V8.D2, V9.D2, V10.D2, V11.D2]   // secret window
+	ADD    $8, R2                                 // slide one word
+
+	VEOR   V8.B16, V4.B16, V12.B16                // dk 0..1
+	VEOR   V9.B16, V5.B16, V13.B16                // dk 2..3
+	VEOR   V10.B16, V6.B16, V14.B16               // dk 4..5
+	VEOR   V11.B16, V7.B16, V15.B16               // dk 6..7
+
+	VUZP1  V12.S4, V12.S4, V16.S4                 // lo32 pairs (lower 2S)
+	VUZP1  V13.S4, V13.S4, V17.S4
+	VUZP1  V14.S4, V14.S4, V18.S4
+	VUZP1  V15.S4, V15.S4, V19.S4
+	VUZP2  V12.S4, V12.S4, V20.S4                 // hi32 pairs (lower 2S)
+	VUZP2  V13.S4, V13.S4, V21.S4
+	VUZP2  V14.S4, V14.S4, V22.S4
+	VUZP2  V15.S4, V15.S4, V23.S4
+
+	WORD   $0x2EB48200                            // UMLAL V0.2D, V16.2S, V20.2S
+	WORD   $0x2EB58221                            // UMLAL V1.2D, V17.2S, V21.2S
+	WORD   $0x2EB68242                            // UMLAL V2.2D, V18.2S, V22.2S
+	WORD   $0x2EB78263                            // UMLAL V3.2D, V19.2S, V23.2S
+
+	VEXT   $8, V4.B16, V4.B16, V12.B16            // lanes pair-swapped
+	VEXT   $8, V5.B16, V5.B16, V13.B16
+	VEXT   $8, V6.B16, V6.B16, V14.B16
+	VEXT   $8, V7.B16, V7.B16, V15.B16
+	VADD   V12.D2, V0.D2, V0.D2
+	VADD   V13.D2, V1.D2, V1.D2
+	VADD   V14.D2, V2.D2, V2.D2
+	VADD   V15.D2, V3.D2, V3.D2
+
+	SUB    $1, R3
+	CBNZ   R3, loop
+
+	VST1 [V0.D2, V1.D2, V2.D2, V3.D2], (R0)
+
+empty:
+	RET

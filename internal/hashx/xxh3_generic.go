@@ -1,0 +1,18 @@
+//go:build (!amd64 && !arm64) || purego
+
+package hashx
+
+// Architectures without a vector kernel — and purego builds on any
+// architecture — run the portable scalar kernels directly.
+
+func accumFloat64s(s *xxh3State, d []float64) { accumFloat64sScalar(s, d) }
+func accumFloat32s(s *xxh3State, d []float32) { accumFloat32sScalar(s, d) }
+func accumInt32s(s *xxh3State, d []int32)     { accumInt32sScalar(s, d) }
+func accumBytes(s *xxh3State, p []byte)       { accumBytesScalar(s, p) }
+
+// vectorKernelAvailable reports whether this build has a vector stripe
+// kernel (it does not; the differential tests skip).
+func vectorKernelAvailable() bool { return false }
+
+// setVectorKernel is a no-op in scalar-only builds.
+func setVectorKernel(bool) (restore func()) { return func() {} }

@@ -1,0 +1,189 @@
+package hashx
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestXXH3KernelDifferential is the bit-identity gate for the vector
+// kernels: for every input size and alignment phase in a dense sweep,
+// the vector path and the forced-scalar path must produce the same
+// Sum64 across all four bulk write types. Skipped (vacuously true) on
+// machines without a vector kernel — CI's purego job covers the
+// scalar-only build separately.
+func TestXXH3KernelDifferential(t *testing.T) {
+	if !vectorKernelAvailable() {
+		t.Skip("no vector kernel on this machine")
+	}
+	rng := rand.New(rand.NewSource(31))
+	raw := make([]byte, 5000)
+	rng.Read(raw)
+
+	sum := func(vector bool, run func(h Hasher)) uint64 {
+		restore := setVectorKernel(vector)
+		defer restore()
+		h := New(XXH3, 0xfeed)
+		run(h)
+		return h.Sum64()
+	}
+
+	// Sizes sweep stripe (64B) and block (1024B) boundaries; off sweeps
+	// alignment phases so the kernel sees misaligned loads.
+	for _, size := range []int{0, 1, 7, 8, 63, 64, 65, 127, 128, 512, 1023, 1024, 1025, 2048, 4000} {
+		for off := 0; off < 8; off++ {
+			if off+size > len(raw) {
+				continue
+			}
+			p := raw[off : off+size]
+
+			f64 := make([]float64, size/8)
+			f32 := make([]float32, size/4)
+			i32 := make([]int32, size/4)
+			for i := range f64 {
+				f64[i] = rng.NormFloat64()
+			}
+			for i := range f32 {
+				f32[i] = float32(rng.NormFloat64())
+				i32[i] = rng.Int31()
+			}
+
+			cases := []struct {
+				name string
+				run  func(h Hasher)
+			}{
+				{"bytes", func(h Hasher) { h.WriteBytes(p) }},
+				{"float64s", func(h Hasher) { h.WriteFloat64s(f64) }},
+				{"float32s", func(h Hasher) { h.WriteFloat32s(f32) }},
+				{"int32s", func(h Hasher) { h.WriteInt32s(i32) }},
+				// Unaligned-buffer entry: a 3-byte prefix leaves the
+				// internal buffer partially full before the bulk write.
+				{"prefixed-bytes", func(h Hasher) {
+					h.WriteBytes([]byte{1, 2, 3})
+					h.WriteBytes(p)
+				}},
+			}
+			for _, tc := range cases {
+				v := sum(true, tc.run)
+				s := sum(false, tc.run)
+				if v != s {
+					t.Fatalf("%s size=%d off=%d: vector %#016x != scalar %#016x", tc.name, size, off, v, s)
+				}
+			}
+		}
+	}
+}
+
+// TestXXH3KernelStripeState checks the kernels agree on internal
+// accumulator state, not just final sums: interleaving vector and
+// scalar processing of the same stream must stay consistent.
+func TestXXH3KernelStripeState(t *testing.T) {
+	if !vectorKernelAvailable() {
+		t.Skip("no vector kernel on this machine")
+	}
+	rng := rand.New(rand.NewSource(33))
+	p := make([]byte, 3000)
+	rng.Read(p)
+
+	mixed := New(XXH3, 7).(*xxh3State)
+	for i := 0; i < len(p); {
+		n := 64 * (1 + rng.Intn(5))
+		if i+n > len(p) {
+			n = len(p) - i
+		}
+		restore := setVectorKernel(rng.Intn(2) == 0)
+		mixed.WriteBytes(p[i : i+n])
+		restore()
+		i += n
+	}
+
+	restore := setVectorKernel(false)
+	defer restore()
+	scalar := New(XXH3, 7).(*xxh3State)
+	scalar.WriteBytes(p)
+
+	if mixed.acc != scalar.acc {
+		t.Fatalf("accumulator state diverged:\nmixed  %#x\nscalar %#x", mixed.acc, scalar.acc)
+	}
+	if got, want := mixed.Sum64(), scalar.Sum64(); got != want {
+		t.Fatalf("sum diverged: %#016x != %#016x", got, want)
+	}
+}
+
+// FuzzXXH3Differential fuzzes the vector-vs-scalar bit-identity and the
+// bulk-vs-bytewise stream equivalence on arbitrary inputs and split
+// points.
+func FuzzXXH3Differential(f *testing.F) {
+	f.Add([]byte("hello, stripe world — this seed crosses one 64-byte boundary!!"), uint64(1), 3)
+	f.Add(bytes.Repeat([]byte{0xa5}, 1500), uint64(0), 700)
+	f.Add([]byte{}, uint64(42), 0)
+	f.Fuzz(func(t *testing.T, p []byte, seed uint64, cut int) {
+		if cut < 0 {
+			cut = -cut
+		}
+		if len(p) > 0 {
+			cut %= len(p)
+		} else {
+			cut = 0
+		}
+
+		run := func(h Hasher) {
+			h.WriteBytes(p[:cut])
+			h.WriteBytes(p[cut:])
+		}
+		restore := setVectorKernel(true)
+		a := New(XXH3, seed)
+		run(a)
+		va := a.Sum64()
+		restore()
+
+		restore = setVectorKernel(false)
+		b := New(XXH3, seed)
+		run(b)
+		vb := b.Sum64()
+
+		c := New(XXH3, seed)
+		for _, x := range p {
+			_ = c.WriteByte(x)
+		}
+		vc := c.Sum64()
+		restore()
+
+		if va != vb {
+			t.Fatalf("vector %#016x != scalar %#016x (len=%d cut=%d)", va, vb, len(p), cut)
+		}
+		if vb != vc {
+			t.Fatalf("bulk %#016x != bytewise %#016x (len=%d cut=%d)", vb, vc, len(p), cut)
+		}
+	})
+}
+
+// BenchmarkXXH3Kernel compares the stripe kernels in isolation on the
+// p = 100% shape (long float64 bulk writes). The root-level
+// BenchmarkBulkHash is the gated cross-function benchmark; this one is
+// for kernel work inside the package.
+func BenchmarkXXH3Kernel(b *testing.B) {
+	d := make([]float64, 8192)
+	rng := rand.New(rand.NewSource(1))
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	run := func(b *testing.B, vector bool) {
+		restore := setVectorKernel(vector)
+		defer restore()
+		h := New(XXH3, 1)
+		b.SetBytes(int64(len(d) * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.ResetSeed(1)
+			h.WriteFloat64s(d)
+			sinkU64 = h.Sum64()
+		}
+	}
+	b.Run("scalar", func(b *testing.B) { run(b, false) })
+	if vectorKernelAvailable() {
+		b.Run("vector", func(b *testing.B) { run(b, true) })
+	}
+}
+
+var sinkU64 uint64

@@ -1,0 +1,83 @@
+package hashx
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Portable scalar kernels. These are compiled on every architecture and
+// build mode: they are the reference the vector kernels must match
+// bit-for-bit (TestXXH3KernelDifferential), the fallback when no vector
+// kernel applies, and the only kernels in purego builds.
+
+// accumulateStripe folds one 64-byte stripe (eight 64-bit lanes) into
+// acc using the eight-word secret window sec. Per lane i:
+//
+//	dk       = lane ^ sec[i]
+//	acc[i^1] += lane                          (pair-swapped carry)
+//	acc[i]   += lo32(dk) * hi32(dk)           (32×32→64 multiply)
+//
+// The additions across lanes are independent, which is what lets the
+// vector kernels compute all eight at once.
+func accumulateStripe(acc, lanes *[stripeLanes]uint64, sec []uint64) {
+	_ = sec[stripeLanes-1]
+	for i := 0; i < stripeLanes; i++ {
+		lane := lanes[i]
+		dk := lane ^ sec[i]
+		acc[i^1] += lane
+		acc[i] += uint64(uint32(dk)) * (dk >> 32)
+	}
+}
+
+// accumFloat64sScalar folds len(d)/8 stripes (len(d) is an exact
+// multiple of 8, capped by the caller to the current block).
+func accumFloat64sScalar(s *xxh3State, d []float64) {
+	sec := s.secret[s.stripe:]
+	var lanes [stripeLanes]uint64
+	for i := 0; i < len(d); i += stripeLanes {
+		for j := range lanes {
+			lanes[j] = math.Float64bits(d[i+j])
+		}
+		accumulateStripe(&s.acc, &lanes, sec)
+		sec = sec[1:]
+	}
+}
+
+// accumFloat32sScalar folds len(d)/16 stripes, two elements per lane.
+func accumFloat32sScalar(s *xxh3State, d []float32) {
+	sec := s.secret[s.stripe:]
+	var lanes [stripeLanes]uint64
+	for i := 0; i < len(d); i += 2 * stripeLanes {
+		for j := range lanes {
+			lanes[j] = lane32(math.Float32bits(d[i+2*j]), math.Float32bits(d[i+2*j+1]))
+		}
+		accumulateStripe(&s.acc, &lanes, sec)
+		sec = sec[1:]
+	}
+}
+
+// accumInt32sScalar folds len(d)/16 stripes, two elements per lane.
+func accumInt32sScalar(s *xxh3State, d []int32) {
+	sec := s.secret[s.stripe:]
+	var lanes [stripeLanes]uint64
+	for i := 0; i < len(d); i += 2 * stripeLanes {
+		for j := range lanes {
+			lanes[j] = lane32(uint32(d[i+2*j]), uint32(d[i+2*j+1]))
+		}
+		accumulateStripe(&s.acc, &lanes, sec)
+		sec = sec[1:]
+	}
+}
+
+// accumBytesScalar folds len(p)/64 stripes.
+func accumBytesScalar(s *xxh3State, p []byte) {
+	sec := s.secret[s.stripe:]
+	var lanes [stripeLanes]uint64
+	for i := 0; i < len(p); i += stripeBytes {
+		for j := range lanes {
+			lanes[j] = binary.LittleEndian.Uint64(p[i+8*j:])
+		}
+		accumulateStripe(&s.acc, &lanes, sec)
+		sec = sec[1:]
+	}
+}
