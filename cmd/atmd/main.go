@@ -6,6 +6,7 @@
 //	atmd -addr :8080 -workers 8 -mode dynamic
 //	atmd -chain warm.atmchain -delta-every 30s -recover salvage
 //	atmd -backlog 64        # fixed admission watermark (overload testing)
+//	atmd -tht-budget 64m -evict clock -tenant-shares acme=0.5,beta=0.25
 //
 // Routes: POST /v1/submit, GET /v1/lookup, POST /v1/snapshot,
 // GET /v1/stats, GET /metrics (Prometheus), GET /healthz. Load past the
@@ -26,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"atm/internal/core"
 	"atm/internal/harness"
 	"atm/internal/hashx"
 	"atm/internal/persist"
@@ -51,6 +53,10 @@ func main() {
 		recoverStr = flag.String("recover", "strict", "damaged-snapshot policy: strict|salvage|cold")
 		noSync     = flag.Bool("nosync", false, "skip fsync on snapshot saves (a crash may lose or tear the most recent saves)")
 		hashStr    = flag.String("hash", "", "ATM key hash function: lookup3 (default) | xxh3 | wyhash — folded into the snapshot fingerprint, so warm state is per-function")
+		budgetStr  = flag.String("tht-budget", "", "THT memory budget in bytes, k/m/g suffixes accepted (empty = unbounded)")
+		evictStr   = flag.String("evict", "", "eviction policy under -tht-budget: fifo (default) | clock | tinylfu")
+		sharesStr  = flag.String("tenant-shares", "", "per-tenant budget shares, e.g. acme=0.5,beta=0.25 (requires -tht-budget)")
+		maxTenants = flag.Int("max-tenants", 0, "distinct tenant namespaces served (0 = 64)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -66,6 +72,26 @@ func main() {
 
 	hashFunc, err := hashx.ParseFunc(*hashStr)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	budget, err := harness.ParseByteSize(*budgetStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	evict, err := core.ParseEvictPolicy(*evictStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	shares, err := harness.ParseTenantShares(*sharesStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := (core.Config{THTBudgetBytes: budget, THTEviction: evict, TenantShares: shares}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -94,6 +120,9 @@ func main() {
 		SnapshotChain:      *chainPath,
 		SnapshotDeltaEvery: *deltaEvery,
 		Recover:            recoverPolicy,
+		THTBudgetBytes:     budget,
+		THTEviction:        evict,
+		TenantShares:       shares,
 	}
 	if *noSync {
 		opt.Sync = persist.SyncOff
@@ -104,6 +133,7 @@ func main() {
 		Backlog:    *backlog,
 		Coalesce:   *coalesce,
 		ResetEvery: *resetEvery,
+		MaxTenants: *maxTenants,
 	})
 
 	if info.SnapshotErr != nil {

@@ -134,7 +134,11 @@ func inspect(paths []string, out, errw io.Writer) int {
 		}
 		for i, d := range deltas {
 			types, metas, entries := d.Stats()
-			fmt.Fprintf(out, "  delta %d: %d types (%d with metadata), %d entries\n", i+1, types, metas, entries)
+			if tombs := d.Tombstones(); tombs > 0 {
+				fmt.Fprintf(out, "  delta %d: %d types (%d with metadata), %d entries, %d tombstones\n", i+1, types, metas, entries, tombs)
+			} else {
+				fmt.Fprintf(out, "  delta %d: %d types (%d with metadata), %d entries\n", i+1, types, metas, entries)
+			}
 		}
 	}
 	return code

@@ -32,7 +32,14 @@
 //     Table, Jenkins hashing over sampled inputs, and the static /
 //     dynamic / fixed-p operating modes. The steady-state hit path is
 //     allocation- and lock-free (per-worker hashers and stat shards,
-//     atomic type/plan lookups, sampled overhead timing).
+//     atomic type/plan lookups, sampled overhead timing). For
+//     long-lived service use the THT can run bounded: a byte budget
+//     (Config.THTBudgetBytes) with pluggable eviction — FIFO, CLOCK
+//     second-chance, or TinyLFU admission duels — and tenant-prefixed
+//     type names partitioning the key space with optional per-tenant
+//     budget shares; the hit path stays 0-alloc under every policy
+//     and evictions feed the delta chains as tombstones so compaction
+//     shrinks files (docs/service.md).
 //   - internal/persist — the versioned binary codec for memoization
 //     snapshots: core.(*ATM).Snapshot() extracts the serializable state
 //     (THT entries, per-type adaptive levels, a config fingerprint),

@@ -32,6 +32,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -109,6 +110,27 @@ type Config struct {
 	// folded into Fingerprint, so warm state persisted under one
 	// function never restores into an engine running another.
 	HashFunc hashx.Func
+	// THTBudgetBytes caps the THT's payload memory (the table's
+	// MemoryBytes). Zero means unbounded — the paper's sweep behavior.
+	// With a budget set, inserts evict residents under THTEviction
+	// before publishing, so a sustained over-budget insert stream holds
+	// the table at or under the budget. Budgets are capacity knobs, not
+	// key-validity knobs: they are deliberately NOT folded into
+	// Fingerprint, so warm state persists across budget changes (a
+	// snapshot is a cache; restoring under a smaller budget simply
+	// evicts during install).
+	THTBudgetBytes int64
+	// THTEviction selects the budget-eviction policy: EvictFIFO (the
+	// zero-cost default), EvictCLOCK, or EvictTinyLFU. Ignored without
+	// THTBudgetBytes. Not folded into Fingerprint (see THTBudgetBytes).
+	THTEviction EvictPolicy
+	// TenantShares maps tenant names (the prefix before the first '/'
+	// in a task type's name — see SplitTenant) to fractions of
+	// THTBudgetBytes. A tenant with a share is evicted down to its own
+	// slice of the budget before it can pressure other tenants; tenants
+	// without a share compete under the global budget only. Not folded
+	// into Fingerprint (see THTBudgetBytes).
+	TenantShares map[string]float64
 }
 
 func (c *Config) applyDefaults() {
@@ -124,6 +146,72 @@ func (c *Config) applyDefaults() {
 	if c.FixedLevel > sampling.MaxPLevel {
 		c.FixedLevel = sampling.MaxPLevel
 	}
+}
+
+// ErrConfig is the typed error Validate wraps: test with errors.Is.
+var ErrConfig = errors.New("core: invalid config")
+
+// Validate reports configuration values New would have to clamp or
+// that cannot work at all, as errors wrapping ErrConfig. New itself
+// stays panic-free (it clamps defensively, preserving the historical
+// zero-value behavior); front-ends that accept external configuration
+// (harness, atmd, atmbench) validate first so a misconfiguration is a
+// diagnosable error instead of a silently resized table.
+func (c Config) Validate() error {
+	if c.Mode > ModeFixed {
+		return fmt.Errorf("%w: unknown mode %d", ErrConfig, c.Mode)
+	}
+	if c.NBits < 0 || c.NBits > MaxNBits {
+		// Both edges matter: a negative count is meaningless, and nbits
+		// ≥ 31 overflows the bucket-count shift (gigabytes of empty
+		// buckets well before that).
+		return fmt.Errorf("%w: NBits %d outside [0, %d]", ErrConfig, c.NBits, MaxNBits)
+	}
+	if c.M < 0 {
+		return fmt.Errorf("%w: negative bucket capacity M %d", ErrConfig, c.M)
+	}
+	if c.THTBudgetBytes < 0 {
+		return fmt.Errorf("%w: negative THTBudgetBytes %d", ErrConfig, c.THTBudgetBytes)
+	}
+	if c.THTEviction > EvictTinyLFU {
+		return fmt.Errorf("%w: unknown eviction policy %d", ErrConfig, c.THTEviction)
+	}
+	var total float64
+	for name, share := range c.TenantShares {
+		if share < 0 || share > 1 {
+			return fmt.Errorf("%w: tenant %q share %v outside [0, 1]", ErrConfig, name, share)
+		}
+		total += share
+	}
+	if total > 1+1e-9 {
+		return fmt.Errorf("%w: tenant shares sum to %v > 1", ErrConfig, total)
+	}
+	if len(c.TenantShares) > 0 && c.THTBudgetBytes == 0 {
+		return fmt.Errorf("%w: TenantShares without THTBudgetBytes", ErrConfig)
+	}
+	return nil
+}
+
+// SplitTenant splits a tenant-qualified task-type name "tenant/kind"
+// into its tenant prefix and bare kind; a name without '/' belongs to
+// the default tenant "". The tenant rides in the type name itself, so
+// typeSeed — and with it every hash key and shuffle plan — is already
+// tenant-isolated: two tenants submitting identical inputs under the
+// same kind occupy disjoint key spaces.
+func SplitTenant(name string) (tenant, kind string) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return name[:i], name[i+1:]
+		}
+	}
+	return "", name
+}
+
+// TenantOf returns the tenant prefix of a type name ("" for the
+// default tenant).
+func TenantOf(name string) string {
+	tenant, _ := SplitTenant(name)
+	return tenant
 }
 
 // excludeAfter is the number of failed training approximations after
@@ -177,6 +265,11 @@ type typeState struct {
 	// after stateSlow publishes the state.
 	seed   uint64
 	shards []typeShard // one per worker, +1 for external callers
+	// tenant is the owning tenant's dense id (from the type name's
+	// '/'-prefix), stamped on every THT entry the type inserts so the
+	// table's per-tenant accounting and budget shares apply. Immutable
+	// after stateSlow publishes the state.
+	tenant int32
 
 	mu        sync.Mutex
 	successes int // consecutive correct approximations at this level
@@ -256,6 +349,11 @@ type ATM struct {
 	typeMu     sync.Mutex
 	typeStates atomic.Pointer[[]*typeState]
 	names      map[int]string
+	// tenantIDs assigns dense ids to tenant names (the '/'-prefix of
+	// type names — SplitTenant) as their types register; guarded by
+	// typeMu. Id 0 is the default tenant "". The THT mirrors the
+	// registry for per-tenant accounting (EnsureTenant).
+	tenantIDs map[string]int32
 	// pending holds restored snapshot sections (see Restore) not yet
 	// claimed by a registered task type, keyed by type name; guarded by
 	// typeMu. stateSlow installs and removes a section when its type
@@ -300,14 +398,38 @@ var (
 func New(cfg Config) *ATM {
 	cfg.applyDefaults()
 	a := &ATM{
-		cfg:   cfg,
-		tht:   NewTHT(cfg.NBits, cfg.M),
-		names: make(map[int]string),
+		cfg:       cfg,
+		tht:       NewTHT(cfg.NBits, cfg.M),
+		names:     make(map[int]string),
+		tenantIDs: make(map[string]int32),
 	}
+	a.tht.ConfigureBudget(cfg.THTBudgetBytes, cfg.THTEviction)
+	a.registerTenant("") // the default tenant always exists, id 0
 	a.probePool.New = func() any { return hashx.New(cfg.HashFunc, cfg.Seed) }
 	a.saveEpoch.Store(1)
 	return a
 }
+
+// registerTenant assigns (or returns) the dense id for a tenant name
+// and mirrors it into the THT's accounting with its budget share.
+// Caller holds typeMu (or, in New, no concurrency exists yet).
+func (a *ATM) registerTenant(name string) int32 {
+	if id, ok := a.tenantIDs[name]; ok {
+		return id
+	}
+	id := int32(len(a.tenantIDs))
+	a.tenantIDs[name] = id
+	var budget int64
+	if share, ok := a.cfg.TenantShares[name]; ok && a.cfg.THTBudgetBytes > 0 {
+		budget = int64(share * float64(a.cfg.THTBudgetBytes))
+	}
+	a.tht.EnsureTenant(id, name, budget)
+	return id
+}
+
+// Tenants reports the registered tenants' THT accounting, in dense id
+// order (the default tenant "" first).
+func (a *ATM) Tenants() []TenantStats { return a.tht.TenantStats() }
 
 // BindRuntime implements taskrt.RuntimeBinder.
 func (a *ATM) BindRuntime(rt *taskrt.Runtime) {
@@ -386,6 +508,7 @@ func (a *ATM) stateSlow(tt *taskrt.TaskType) *typeState {
 	}
 	ts := &typeState{
 		seed:      typeSeed(tt.Name()),
+		tenant:    a.registerTenant(TenantOf(tt.Name())),
 		shards:    make([]typeShard, nshards),
 		failCount: make(map[region.Region]int),
 		excluded:  make(map[region.Region]bool),
@@ -634,8 +757,8 @@ func outputShapesMatch(a, b []region.Region) bool {
 }
 
 // snapshotEntry builds (reusing pooled buffers when shapes allow) a THT
-// entry holding a copy of t's current outputs.
-func (a *ATM) snapshotEntry(t *taskrt.Task, key uint64, level int8, insSnap []region.Region) *Entry {
+// entry holding a copy of t's current outputs, stamped with ts's tenant.
+func (a *ATM) snapshotEntry(t *taskrt.Task, ts *typeState, key uint64, level int8, insSnap []region.Region) *Entry {
 	outs := t.Outputs()
 	e := a.tht.GetEntry()
 	if outputShapesMatch(e.Outs, outs) {
@@ -655,6 +778,7 @@ func (a *ATM) snapshotEntry(t *taskrt.Task, key uint64, level int8, insSnap []re
 	e.ProviderID = t.ID()
 	e.Epoch = a.saveEpoch.Load() // diagnostic stamp; the insert log drives delta selection
 	e.Ins = insSnap
+	e.tenant = ts.tenant
 	return e
 }
 
@@ -810,7 +934,7 @@ func (a *ATM) OnFinished(t *taskrt.Task, worker int) {
 	if sc.timed {
 		c0 = time.Now()
 	}
-	a.tht.Insert(a.snapshotEntry(t, sc.key, sc.level, sc.insSnap))
+	a.tht.Insert(a.snapshotEntry(t, ts, sc.key, sc.level, sc.insSnap))
 	if sc.timed {
 		// Extrapolate by the same factor as the OnReady measurements:
 		// past warmup only every timingSample-th task is timed, and an
@@ -873,7 +997,7 @@ func (a *ATM) grade(t *taskrt.Task, ts *typeState, sh *typeShard, sc *scratch) {
 		}
 		ts.mu.Unlock()
 		// Refresh the stale prediction with the true outputs.
-		a.tht.Insert(a.snapshotEntry(t, sc.key, sc.level, sc.insSnap))
+		a.tht.Insert(a.snapshotEntry(t, ts, sc.key, sc.level, sc.insSnap))
 		return
 	}
 	ts.successes++

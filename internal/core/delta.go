@@ -45,9 +45,13 @@ type Delta struct {
 	// carries changed adaptive metadata; without it the type appears
 	// only because Entries references it.
 	Types []TypeDelta
-	// Entries are the THT inserts since the previous save, preserving
-	// per-bucket insert order (the order replay needs to rebuild the
-	// same FIFO ring state).
+	// Entries are the THT operations since the previous save —
+	// inserts and eviction tombstones (EntrySnapshot.Tombstone) in one
+	// ordered stream — preserving per-bucket operation order (the order
+	// replay needs to rebuild the same FIFO ring state). Every eviction
+	// the live table performed while logging, whether ring replacement
+	// or budget pressure, appears as an explicit tombstone, so replayed
+	// occupancy mirrors the live table step by step.
 	Entries []DeltaEntry
 }
 
@@ -194,12 +198,12 @@ func (a *ATM) SnapshotDelta() (*Delta, error) {
 		names[id] = name
 	}
 	a.typeMu.Unlock()
-	for _, e := range log {
-		name, ok := names[e.TypeID]
+	for _, rec := range log {
+		name, ok := names[rec.typeID]
 		if !ok {
-			// An insert from a type absent from the refreshed registry
+			// An operation from a type absent from the refreshed registry
 			// cannot happen through the engine; guard anyway.
-			e.Release()
+			rec.e.Release()
 			continue
 		}
 		ti, ok := idx[name]
@@ -208,14 +212,24 @@ func (a *ATM) SnapshotDelta() (*Delta, error) {
 			idx[name] = ti
 			d.Types = append(d.Types, TypeDelta{Name: name})
 		}
+		if rec.e == nil {
+			// An eviction tombstone: identity only, no region payload.
+			d.Entries = append(d.Entries, DeltaEntry{Type: ti, EntrySnapshot: EntrySnapshot{
+				Key:       rec.key,
+				Level:     rec.level,
+				Provider:  rec.provider,
+				Tombstone: true,
+			}})
+			continue
+		}
 		d.Entries = append(d.Entries, DeltaEntry{Type: ti, EntrySnapshot: EntrySnapshot{
-			Key:      e.Key,
-			Level:    e.Level,
-			Provider: e.ProviderID,
-			Outs:     cloneRegions(e.Outs),
-			Ins:      cloneRegions(e.Ins),
+			Key:      rec.e.Key,
+			Level:    rec.e.Level,
+			Provider: rec.e.ProviderID,
+			Outs:     cloneRegions(rec.e.Outs),
+			Ins:      cloneRegions(rec.e.Ins),
 		}})
-		e.Release()
+		rec.e.Release()
 	}
 	a.savedThrough = cur
 	return d, nil
@@ -280,12 +294,24 @@ func (a *ATM) ApplyDelta(d *Delta) error {
 }
 
 // DeltaStats summarizes a delta for reports and the snapshotctl
-// inspect subcommand.
+// inspect subcommand. entries counts insert operations only; use
+// Tombstones for the eviction records.
 func (d *Delta) Stats() (types, metas, entries int) {
 	for _, td := range d.Types {
 		if td.HasMeta {
 			metas++
 		}
 	}
-	return len(d.Types), metas, len(d.Entries)
+	return len(d.Types), metas, len(d.Entries) - d.Tombstones()
+}
+
+// Tombstones counts the delta's eviction records.
+func (d *Delta) Tombstones() int {
+	n := 0
+	for i := range d.Entries {
+		if d.Entries[i].Tombstone {
+			n++
+		}
+	}
+	return n
 }

@@ -314,8 +314,8 @@ func TestFailedSnapshotLeavesDeltaChainIntact(t *testing.T) {
 	if len(logged) != 2 {
 		t.Fatalf("failed saves must leave the %d inserts in the log, found %d", 2, len(logged))
 	}
-	for _, e := range logged {
-		e.Release()
+	for _, r := range logged {
+		r.e.Release()
 	}
 }
 

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the THT's global-budget layer: with Config.THTBudgetBytes
+// set, Insert keeps the table's payload under the budget by evicting
+// residents before publishing the newcomer (so a sustained over-budget
+// insert stream never drives MemoryBytes past the budget), under one of
+// three policies selected by Config.THTEviction. Per-tenant budget
+// shares (Config.TenantShares) scope the same machinery to one tenant's
+// entries. The hit path stays allocation- and lock-free with eviction
+// enabled: FIFO adds nothing to Lookup, CLOCK one atomic store (the
+// reference bit), TinyLFU a handful of atomic nibble CASes into the
+// frequency sketch.
+
+// EvictPolicy selects the THT's budget-eviction policy.
+type EvictPolicy uint8
+
+const (
+	// EvictFIFO evicts the oldest entry of the next non-empty bucket
+	// under the eviction hand — the zero-cost default, the same
+	// replacement order the per-bucket rings already use.
+	EvictFIFO EvictPolicy = iota
+	// EvictCLOCK is second-chance FIFO over the existing ring buckets:
+	// Lookup hits set a reference bit, the eviction sweep clears set
+	// bits and evicts the first entry found clear, so recently-hit
+	// entries survive one sweep.
+	EvictCLOCK
+	// EvictTinyLFU adds a 4-bit count-min frequency sketch fed by every
+	// lookup: an insert under budget pressure duels the would-be victim,
+	// and is rejected outright when the resident's estimated frequency
+	// is higher — one-hit-wonder streams stop displacing the warm set.
+	EvictTinyLFU
+)
+
+// String returns the policy's flag spelling.
+func (p EvictPolicy) String() string {
+	switch p {
+	case EvictFIFO:
+		return "fifo"
+	case EvictCLOCK:
+		return "clock"
+	case EvictTinyLFU:
+		return "tinylfu"
+	default:
+		return fmt.Sprintf("EvictPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseEvictPolicy parses a policy's flag spelling.
+func ParseEvictPolicy(s string) (EvictPolicy, error) {
+	switch s {
+	case "", "fifo":
+		return EvictFIFO, nil
+	case "clock":
+		return EvictCLOCK, nil
+	case "tinylfu":
+		return EvictTinyLFU, nil
+	default:
+		return 0, fmt.Errorf("unknown eviction policy %q (want fifo, clock or tinylfu)", s)
+	}
+}
+
+// tenantStat is one tenant's accounting row: live bytes/entries, its
+// eviction count, and its budget share in bytes (0 = capped by the
+// global budget only). budget and name are immutable after
+// EnsureTenant publishes the row; the counters are written from the
+// insert/evict paths.
+type tenantStat struct {
+	name    string
+	budget  int64
+	bytes   atomic.Int64
+	entries atomic.Int64
+	evicts  atomic.Int64
+	_       [32]byte // keep hot tenants off each other's cache lines
+}
+
+// EnsureTenant registers tenant id with the table's accounting,
+// growing the dense tenant slice copy-on-write. budget is the tenant's
+// byte share (0 = no per-tenant cap). Idempotent per id; ids are
+// assigned densely by the engine's tenant registry.
+func (t *THT) EnsureTenant(id int32, name string, budget int64) {
+	if id < 0 {
+		return
+	}
+	t.tenantMu.Lock()
+	defer t.tenantMu.Unlock()
+	var cur []*tenantStat
+	if sl := t.tenants.Load(); sl != nil {
+		cur = *sl
+	}
+	if int(id) < len(cur) && cur[id] != nil {
+		return
+	}
+	grown := make([]*tenantStat, max(int(id)+1, len(cur)))
+	copy(grown, cur)
+	grown[id] = &tenantStat{name: name, budget: budget}
+	t.tenants.Store(&grown)
+}
+
+// tenantStat returns tenant id's accounting row, or nil when the
+// tenant was never registered (raw-THT tests): one atomic load plus an
+// index, no locks.
+func (t *THT) tenantStat(id int32) *tenantStat {
+	sl := t.tenants.Load()
+	if sl == nil || id < 0 || int(id) >= len(*sl) {
+		return nil
+	}
+	return (*sl)[id]
+}
+
+// TenantStats is one tenant's externally visible accounting.
+type TenantStats struct {
+	Name        string
+	BudgetBytes int64
+	Bytes       int64
+	Entries     int64
+	Evictions   int64
+}
+
+// TenantStats reports every registered tenant's accounting, in dense
+// id order.
+func (t *THT) TenantStats() []TenantStats {
+	sl := t.tenants.Load()
+	if sl == nil {
+		return nil
+	}
+	out := make([]TenantStats, 0, len(*sl))
+	for _, st := range *sl {
+		if st == nil {
+			continue
+		}
+		out = append(out, TenantStats{
+			Name:        st.name,
+			BudgetBytes: st.budget,
+			Bytes:       st.bytes.Load(),
+			Entries:     st.entries.Load(),
+			Evictions:   st.evicts.Load(),
+		})
+	}
+	return out
+}
+
+// admit enforces the per-tenant and global budgets before e is
+// published: it evicts residents until e fits, and reports false when
+// e must be rejected instead — larger than its budget outright, or a
+// lost TinyLFU admission duel. Evicting before adding (rather than
+// adding and trimming) is what keeps MemoryBytes ≤ budget at every
+// instant of a single-threaded over-budget stream; concurrent
+// inserters can overshoot by at most one in-flight entry each.
+func (t *THT) admit(e *Entry, size int64) bool {
+	if st := t.tenantStat(e.tenant); st != nil && st.budget > 0 {
+		if size > st.budget {
+			return false
+		}
+		for st.bytes.Load()+size > st.budget {
+			evicted, reject := t.evictOne(e, e.tenant)
+			if reject {
+				return false
+			}
+			if !evicted {
+				break // no resident of this tenant left to evict
+			}
+		}
+	}
+	if t.budget > 0 {
+		if size > t.budget {
+			return false
+		}
+		for t.memBytes.Load()+size > t.budget {
+			evicted, reject := t.evictOne(e, -1)
+			if reject {
+				return false
+			}
+			if !evicted {
+				break // empty table racing concurrent evictors
+			}
+		}
+	}
+	return true
+}
+
+// evictOne scans buckets from the eviction hand for one victim under
+// the configured policy — restricted to the given tenant when tenant
+// ≥ 0 — removes it and adjusts the accounting. rejectNew reports a
+// TinyLFU admission duel lost by the newcomer cand (the resident stays
+// put and cand must not be inserted). The scan holds one bucket lock
+// at a time and the caller holds none, so eviction never nests bucket
+// locks.
+func (t *THT) evictOne(cand *Entry, tenant int32) (evicted, rejectNew bool) {
+	nb := len(t.buckets)
+	// One sweep finds a victim under FIFO/TinyLFU; CLOCK needs a second
+	// sweep, since the first may only clear reference bits.
+	limit := nb
+	if t.policy == EvictCLOCK {
+		limit = 2 * nb
+	}
+	for pass := 0; pass < limit; pass++ {
+		b := &t.buckets[(t.hand.Add(1)-1)&t.mask]
+		b.mu.Lock()
+		idx := -1
+		for i := 0; i < b.n; i++ {
+			e := b.entries[(b.head+i)%len(b.entries)]
+			if tenant >= 0 && e.tenant != tenant {
+				continue
+			}
+			if t.policy == EvictCLOCK && pass < nb && e.touched.Load() {
+				e.touched.Store(false) // second chance: survive this sweep
+				continue
+			}
+			idx = i
+			break
+		}
+		if idx < 0 {
+			b.mu.Unlock()
+			continue
+		}
+		victim := b.entries[(b.head+idx)%len(b.entries)]
+		if t.sketch != nil && cand != nil && t.sketch.estimate(victim.Key) > t.sketch.estimate(cand.Key) {
+			// TinyLFU admission: the resident is estimated hotter than
+			// the newcomer, so the newcomer loses.
+			b.mu.Unlock()
+			return false, true
+		}
+		b.removeAt(idx)
+		if t.logging.Load() {
+			// Budget evictions are explicit tombstones in the operation
+			// log, in bucket order — the next delta snapshot records the
+			// removal so restore and compaction see it.
+			b.log = append(b.log, tombstoneRec(victim))
+		}
+		b.mu.Unlock()
+		t.memBytes.Add(-victim.bytes)
+		t.entries.Add(-1)
+		t.evicts.Add(1)
+		t.budgetEvicts.Add(1)
+		if st := t.tenantStat(victim.tenant); st != nil {
+			st.bytes.Add(-victim.bytes)
+			st.entries.Add(-1)
+			st.evicts.Add(1)
+		}
+		victim.Release()
+		return true, false
+	}
+	return false, false
+}
+
+// freqSketch is TinyLFU's frequency estimator: a 4-bit count-min
+// sketch, sketchRows rows of 2^sketchRowBits nibbles packed into
+// atomic uint64 words (32 KiB total, allocated once). Increments are
+// lock-free saturating nibble CASes; estimates take the minimum over
+// the rows. After sketchAgeEvery increments every counter is halved
+// (under a TryLock so the hot path never blocks), aging out stale
+// frequency so the sketch tracks recent demand.
+type freqSketch struct {
+	words []atomic.Uint64
+	mask  uint64
+	adds  atomic.Int64
+	ageMu sync.Mutex
+}
+
+const (
+	sketchRows     = 4
+	sketchRowBits  = 14
+	sketchAgeEvery = 10 << sketchRowBits
+)
+
+// sketchSeeds perturb the key per row so the rows hash independently.
+var sketchSeeds = [sketchRows]uint64{
+	0x9e3779b97f4a7c15, 0xc2b2ae3d27d4eb4f, 0x165667b19e3779f9, 0x27d4eb2f165667c5,
+}
+
+func newFreqSketch() *freqSketch {
+	width := 1 << sketchRowBits
+	return &freqSketch{
+		words: make([]atomic.Uint64, sketchRows*width/16),
+		mask:  uint64(width - 1),
+	}
+}
+
+// slot returns the word index and nibble shift of key's counter in row r.
+func (s *freqSketch) slot(key uint64, r int) (word int, shift uint) {
+	h := (key ^ sketchSeeds[r]) * sketchSeeds[(r+1)%sketchRows]
+	i := (h >> 17) & s.mask
+	return r<<(sketchRowBits-4) | int(i>>4), uint(i&15) * 4
+}
+
+// inc bumps key's counters (saturating at 15) and ages the sketch when
+// due. Lock-free and allocation-free.
+func (s *freqSketch) inc(key uint64) {
+	for r := 0; r < sketchRows; r++ {
+		w, shift := s.slot(key, r)
+		for {
+			old := s.words[w].Load()
+			if (old>>shift)&0xf == 0xf {
+				break // saturated
+			}
+			if s.words[w].CompareAndSwap(old, old+1<<shift) {
+				break
+			}
+		}
+	}
+	if s.adds.Add(1) >= sketchAgeEvery {
+		s.age()
+	}
+}
+
+// estimate returns key's count-min frequency estimate.
+func (s *freqSketch) estimate(key uint64) uint64 {
+	est := uint64(0xf)
+	for r := 0; r < sketchRows; r++ {
+		w, shift := s.slot(key, r)
+		if n := (s.words[w].Load() >> shift) & 0xf; n < est {
+			est = n
+		}
+	}
+	return est
+}
+
+// age halves every counter. TryLock: racing incrementers skip the
+// aging rather than block, and increments lost to the halving races
+// are noise the sketch tolerates by design.
+func (s *freqSketch) age() {
+	if !s.ageMu.TryLock() {
+		return
+	}
+	defer s.ageMu.Unlock()
+	if s.adds.Load() < sketchAgeEvery {
+		return // another ager got here first
+	}
+	for i := range s.words {
+		for {
+			old := s.words[i].Load()
+			if s.words[i].CompareAndSwap(old, old>>1&0x7777777777777777) {
+				break
+			}
+		}
+	}
+	s.adds.Store(0)
+}

@@ -71,13 +71,18 @@ type TypeSnapshot struct {
 
 // EntrySnapshot is one THT entry: the key, the p level it was computed
 // at, and the provider's output (and, under VerifyInputs, input)
-// snapshots.
+// snapshots. With Tombstone set it is instead an eviction record — the
+// identity of an entry the live table removed — and carries no
+// regions. Tombstones appear only inside delta operation streams
+// (Delta.Entries and pending sections mid-restore); a full Snapshot
+// never contains one, and the v1 entry codec rejects them.
 type EntrySnapshot struct {
-	Key      uint64
-	Level    int8
-	Provider uint64
-	Outs     []region.Region
-	Ins      []region.Region
+	Key       uint64
+	Level     int8
+	Provider  uint64
+	Outs      []region.Region
+	Ins       []region.Region
+	Tombstone bool
 }
 
 // Fingerprint hashes every Config field that determines whether stored
@@ -86,6 +91,16 @@ type EntrySnapshot struct {
 // included too so a snapshot only ever restores into an identically
 // configured engine. Defaults are applied first, so Config{} and the
 // spelled-out equivalent fingerprint identically.
+//
+// THTBudgetBytes, THTEviction and TenantShares are deliberately
+// excluded: they are capacity knobs, not key-validity knobs. A
+// snapshot is a cache — restoring it under a different budget or
+// eviction policy yields valid (merely fewer or differently chosen)
+// entries, and an operator must be able to resize a service's budget
+// across restarts without discarding its warm state. Tenancy needs no
+// fingerprint bit either: the tenant lives in the type name, which
+// seeds the key hash (typeSeed), so tenants' key spaces are disjoint
+// by construction.
 func Fingerprint(cfg Config) uint64 {
 	cfg.applyDefaults()
 	h := uint64(fnvOffset64)
@@ -191,13 +206,49 @@ func (a *ATM) Snapshot() (*Snapshot, error) {
 	// partitions inserts exactly.
 	a.snapMu.Lock()
 	if a.tracking {
-		for _, e := range a.tht.DrainLog() {
-			e.Release()
+		for _, r := range a.tht.DrainLog() {
+			r.e.Release()
 		}
 		a.savedThrough = a.saveEpoch.Add(1) - 1
 	}
 	a.snapMu.Unlock()
 	return snap, nil
+}
+
+// FoldEntryOps folds an ordered operation stream (inserts and
+// tombstones) into the equivalent insert-only list: each tombstone
+// cancels the oldest uncancelled insert matching its (key, level,
+// provider) identity, exactly the entry THT.Remove would take off the
+// ring at replay time. A tombstone with no match is dropped — the
+// replay-side removal of an absent entry is a no-op, so the fold
+// mirrors it. Because the live table logs every eviction as an
+// explicit tombstone, replaying the folded list reproduces the same
+// table as replaying the operations (the property persist.Compact
+// builds on to make compacted chains shrink).
+func FoldEntryOps(ops []EntrySnapshot) []EntrySnapshot {
+	tombs := 0
+	for i := range ops {
+		if ops[i].Tombstone {
+			tombs++
+		}
+	}
+	if tombs == 0 {
+		return ops
+	}
+	out := make([]EntrySnapshot, 0, len(ops)-tombs)
+	for _, op := range ops {
+		if !op.Tombstone {
+			out = append(out, op)
+			continue
+		}
+		for i := range out {
+			if out[i].Key == op.Key && out[i].Level == op.Level && out[i].Provider == op.Provider {
+				out = append(out[:i], out[i+1:]...)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // collectTypeSections appends the per-type sections (registered types
@@ -239,9 +290,13 @@ func (a *ATM) collectTypeSections(snap *Snapshot, byType map[int][]EntrySnapshot
 		})
 	}
 	// Sections restored into this engine whose types never re-registered
-	// carry through unchanged (a sweep alternating workloads must not
-	// lose the idle workload's warm state). Cloned: the pending map may
-	// later be installed into the THT, whose recycling mutates entries.
+	// carry through (a sweep alternating workloads must not lose the
+	// idle workload's warm state). Cloned: the pending map may later be
+	// installed into the THT, whose recycling mutates entries. Pending
+	// sections are operation streams — a chained delta may have left
+	// tombstones — and a full snapshot carries entries only, so the ops
+	// are folded first (FoldEntryOps replays removals textually, which
+	// installSection would otherwise do on the ring).
 	carried := make([]string, 0, len(a.pending))
 	for name := range a.pending {
 		carried = append(carried, name)
@@ -250,8 +305,9 @@ func (a *ATM) collectTypeSections(snap *Snapshot, byType map[int][]EntrySnapshot
 	for _, name := range carried {
 		sec := a.pending[name]
 		cp := *sec
-		cp.Entries = make([]EntrySnapshot, len(sec.Entries))
-		for i, es := range sec.Entries {
+		folded := FoldEntryOps(sec.Entries)
+		cp.Entries = make([]EntrySnapshot, len(folded))
+		for i, es := range folded {
 			cp.Entries[i] = EntrySnapshot{
 				Key:      es.Key,
 				Level:    es.Level,
@@ -353,6 +409,13 @@ func (a *ATM) installSection(id int, ts *typeState, sec *TypeSnapshot) bool {
 		if es.Level < sampling.MinPLevel || es.Level > sampling.MaxPLevel {
 			continue
 		}
+		if es.Tombstone {
+			// A chained delta recorded an eviction: replay the removal.
+			// Remove neither logs nor counts an eviction — the removal
+			// was already persisted by the chain being restored.
+			a.tht.Remove(id, es.Key, es.Level, es.Provider)
+			continue
+		}
 		// Restored entries bypass the delta insert log (Epoch 0): the
 		// snapshot chain that produced them already persists them.
 		a.tht.InsertRestored(&Entry{
@@ -362,6 +425,7 @@ func (a *ATM) installSection(id int, ts *typeState, sec *TypeSnapshot) bool {
 			ProviderID: es.Provider,
 			Outs:       es.Outs,
 			Ins:        es.Ins,
+			tenant:     ts.tenant,
 		})
 		a.restored.Add(1)
 	}

@@ -57,8 +57,23 @@ type Stats struct {
 	THTBytes int64
 	// THTEntries is the current entry count.
 	THTEntries int64
-	// THTLookups / THTHits / THTEvictions are table counters.
+	// THTLookups / THTHits / THTEvictions are table counters
+	// (THTEvictions counts every displaced entry — ring replacements
+	// and budget evictions alike).
 	THTLookups, THTHits, THTEvictions int64
+	// THTBudgetBytes is the configured global memory budget (0 =
+	// unbounded) and THTEvictionPolicy the policy enforcing it.
+	THTBudgetBytes    int64
+	THTEvictionPolicy string
+	// THTBudgetEvictions counts evictions forced by the global or
+	// per-tenant budget (a subset of THTEvictions); THTAdmissionRejects
+	// counts inserts rejected at admission (TinyLFU duels lost, or
+	// entries larger than the budget).
+	THTBudgetEvictions, THTAdmissionRejects int64
+	// Tenants is the per-tenant THT accounting, in dense id order (the
+	// default tenant "" first); empty when only the default tenant
+	// exists and no budget is set.
+	Tenants []TenantStats
 	// IKTInserts / IKTDefers / IKTRejected are in-flight table counters.
 	IKTInserts, IKTDefers, IKTRejected int64
 }
@@ -115,6 +130,13 @@ func (a *ATM) Stats() Stats {
 	st.THTBytes = a.tht.MemoryBytes()
 	st.THTEntries = a.tht.Entries()
 	st.THTLookups, st.THTHits, st.THTEvictions = a.tht.Counters()
+	budget, policy := a.tht.Budget()
+	st.THTBudgetBytes = budget
+	st.THTEvictionPolicy = policy.String()
+	st.THTBudgetEvictions, st.THTAdmissionRejects = a.tht.BudgetCounters()
+	if tenants := a.tht.TenantStats(); budget > 0 || len(tenants) > 1 {
+		st.Tenants = tenants
+	}
 	if a.ikt != nil {
 		st.IKTInserts, st.IKTDefers, st.IKTRejected = a.ikt.Counters()
 	}

@@ -33,6 +33,15 @@ type Entry struct {
 	bytes int64
 	refs  atomic.Int32
 	pool  *sync.Pool // set by Insert; nil entries are never recycled
+	// tenant is the owning tenant's dense id (see ATM tenant registry);
+	// 0 is the default tenant. It scopes the per-tenant byte accounting
+	// and budget-share eviction.
+	tenant int32
+	// touched is the CLOCK reference bit, set on lookup hits when the
+	// table's eviction policy is EvictCLOCK (markHits) and cleared when
+	// the eviction hand sweeps past, giving recently-hit entries a
+	// second chance.
+	touched atomic.Bool
 }
 
 // retain marks an in-flight reader. Callers must pair it with Release.
@@ -64,16 +73,53 @@ type THT struct {
 	buckets []thtBucket
 	pool    sync.Pool // recycled *Entry values with dead output buffers
 
-	// logging enables the per-bucket insert logs for incremental
+	// Budget/eviction state, immutable after ConfigureBudget (called
+	// before the table is published): budget is the global payload cap
+	// in bytes (0 = unbounded), policy the eviction policy applied under
+	// budget pressure, markHits whether Lookup sets the CLOCK reference
+	// bit, sketch the TinyLFU frequency estimator (nil otherwise).
+	budget   int64
+	policy   EvictPolicy
+	markHits bool
+	sketch   *freqSketch
+	// hand is the eviction scan position (a bucket index, advanced
+	// atomically so concurrent evictors spread over the table).
+	hand atomic.Uint64
+	// tenants is the per-tenant accounting table, grown copy-on-write
+	// under tenantMu; the insert/evict paths read it with one atomic
+	// load plus an index.
+	tenantMu sync.Mutex
+	tenants  atomic.Pointer[[]*tenantStat]
+
+	// logging enables the per-bucket operation logs for incremental
 	// snapshots (see thtBucket.log); DrainLog hands the accumulated
-	// entries (and their references) to the snapshotter.
+	// records (and the inserts' references) to the snapshotter.
 	logging atomic.Bool
 
-	memBytes atomic.Int64
-	entries  atomic.Int64
-	lookups  atomic.Int64
-	hits     atomic.Int64
-	evicts   atomic.Int64
+	memBytes     atomic.Int64
+	entries      atomic.Int64
+	lookups      atomic.Int64
+	hits         atomic.Int64
+	evicts       atomic.Int64
+	budgetEvicts atomic.Int64
+	admitRejects atomic.Int64
+}
+
+// logRec is one record in a bucket's operation log: an insert (e
+// non-nil, retained on the log's behalf) or a tombstone marking an
+// eviction (e nil). Tombstones copy the victim's identity instead of
+// retaining it, so the log never pins an evicted entry's buffers; the
+// identity fields are filled for both kinds.
+type logRec struct {
+	e        *Entry
+	typeID   int
+	key      uint64
+	level    int8
+	provider uint64
+}
+
+func tombstoneRec(e *Entry) logRec {
+	return logRec{typeID: e.TypeID, key: e.Key, level: e.Level, provider: e.ProviderID}
 }
 
 type thtBucket struct {
@@ -81,20 +127,52 @@ type thtBucket struct {
 	entries []*Entry // ring: oldest at head
 	head    int
 	n       int
-	// log records this bucket's inserts (retained) for the next delta
-	// snapshot, appended under mu so it preserves the bucket's insert
-	// order — the only order that matters for replaying a delta into an
-	// empty table, since buckets are independent FIFO rings. Keeping
-	// the log per bucket costs no extra synchronization on insert and
-	// no cross-bucket contention.
-	log []*Entry
+	// log records this bucket's operations — inserts (retained) and
+	// eviction tombstones — for the next delta snapshot, appended under
+	// mu so it preserves the bucket's operation order. Replaying the log
+	// mirrors the bucket's occupancy step by step (every eviction,
+	// whether ring replacement or budget pressure, is an explicit
+	// tombstone), which is what lets Compact cancel insert/tombstone
+	// pairs soundly. Keeping the log per bucket costs no extra
+	// synchronization on insert and no cross-bucket contention.
+	log []logRec
 }
 
+// removeAt removes the entry at ring offset i (0 = oldest), preserving
+// the remaining entries' order, and returns it. Caller holds b.mu.
+func (b *thtBucket) removeAt(i int) *Entry {
+	e := b.entries[(b.head+i)%len(b.entries)]
+	if i == 0 {
+		b.entries[b.head] = nil
+		b.head = (b.head + 1) % len(b.entries)
+		b.n--
+		return e
+	}
+	for j := i; j < b.n-1; j++ {
+		b.entries[(b.head+j)%len(b.entries)] = b.entries[(b.head+j+1)%len(b.entries)]
+	}
+	b.n--
+	b.entries[(b.head+b.n)%len(b.entries)] = nil
+	return e
+}
+
+// MaxNBits bounds Config.NBits / NewTHT's nbits: 2^20 buckets already
+// hold 128M entries at the paper's M=128 and cost ~100 MB of empty
+// bucket headers — anything above is a misconfiguration, and nbits ≥ 31
+// would overflow the shift. Config.Validate reports the violation as a
+// typed error; NewTHT clamps defensively.
+const MaxNBits = 20
+
 // NewTHT builds a THT with 2^nbits buckets of capacity m each. The paper's
-// sizing (§IV-B) is nbits = 8, m = 128.
+// sizing (§IV-B) is nbits = 8, m = 128. nbits is clamped into
+// [0, MaxNBits]; use Config.Validate to surface out-of-range values as
+// errors instead.
 func NewTHT(nbits, m int) *THT {
 	if nbits < 0 {
 		nbits = 0
+	}
+	if nbits > MaxNBits {
+		nbits = MaxNBits
 	}
 	if m <= 0 {
 		m = 1
@@ -103,11 +181,37 @@ func NewTHT(nbits, m int) *THT {
 	return &THT{mask: uint64(n - 1), m: m, buckets: make([]thtBucket, n)}
 }
 
+// ConfigureBudget sets the table's global memory budget (bytes; 0 =
+// unbounded) and eviction policy. Must be called before the table
+// serves traffic — the fields are read without synchronization on the
+// hot paths.
+func (t *THT) ConfigureBudget(budget int64, policy EvictPolicy) {
+	if budget < 0 {
+		budget = 0
+	}
+	t.budget = budget
+	t.policy = policy
+	t.markHits = policy == EvictCLOCK
+	if policy == EvictTinyLFU {
+		t.sketch = newFreqSketch()
+	} else {
+		t.sketch = nil
+	}
+}
+
+// Budget reports the configured global budget and eviction policy.
+func (t *THT) Budget() (bytes int64, policy EvictPolicy) { return t.budget, t.policy }
+
 // Lookup returns the entry matching (typeID, key, level), or nil. A
 // non-nil result is retained for the caller, who must Release it after
 // copying from it (the table cannot recycle it before that).
 func (t *THT) Lookup(typeID int, key uint64, level int8) *Entry {
 	t.lookups.Add(1)
+	if t.sketch != nil {
+		// TinyLFU: every access feeds the frequency sketch (lock-free
+		// nibble CAS), so the admission duel sees demand, not residency.
+		t.sketch.inc(key)
+	}
 	b := &t.buckets[key&t.mask]
 	b.mu.RLock()
 	// Newest entries are most likely to match; scan back to front.
@@ -115,6 +219,9 @@ func (t *THT) Lookup(typeID int, key uint64, level int8) *Entry {
 		e := b.entries[(b.head+i)%len(b.entries)]
 		if e.Key == key && e.TypeID == typeID && e.Level == level {
 			e.retain()
+			if t.markHits {
+				e.touched.Store(true) // CLOCK reference bit
+			}
 			b.mu.RUnlock()
 			t.hits.Add(1)
 			return e
@@ -156,7 +263,15 @@ func (t *THT) insert(e *Entry, logIt bool) {
 	size += 8 + 8 + 8 // key + provider id + header, the paper's 8-byte key cost
 	e.bytes = size
 	e.pool = &t.pool // set before publication: readers may Release anytime
-	e.retain()       // the table's reference
+	e.touched.Store(false)
+	e.retain() // the table's reference
+	if !t.admit(e, size) {
+		// Over budget and not worth a resident's slot (or larger than the
+		// budget outright): recycle without publishing.
+		t.admitRejects.Add(1)
+		e.Release()
+		return
+	}
 	var old *Entry
 	b := &t.buckets[e.Key&t.mask]
 	b.mu.Lock()
@@ -183,22 +298,86 @@ func (t *THT) insert(e *Entry, logIt bool) {
 		b.entries[(b.head+b.n)%len(b.entries)] = e
 		b.n++
 	}
-	if logIt && t.logging.Load() {
-		// Still under b.mu: concurrent inserts into this bucket reach
-		// the log in ring order, so a replay of the log rebuilds
-		// identical per-bucket FIFO state.
-		e.retain() // the log's reference; dropped by the drain consumer
-		b.log = append(b.log, e)
+	// Still under b.mu: concurrent operations on this bucket reach the
+	// log in ring order, so a replay of the log rebuilds identical
+	// per-bucket FIFO state. A ring replacement logs the victim's
+	// tombstone ahead of the insert — replay then mirrors the ring's
+	// occupancy step by step instead of relying on implicit drops, which
+	// is what makes Compact's insert/tombstone cancellation sound.
+	if logging := t.logging.Load(); logging {
+		if old != nil {
+			b.log = append(b.log, tombstoneRec(old))
+		}
+		if logIt {
+			e.retain() // the log's reference; dropped by the drain consumer
+			b.log = append(b.log, logRec{e: e, typeID: e.TypeID, key: e.Key, level: e.Level, provider: e.ProviderID})
+		}
 	}
 	b.mu.Unlock()
-	t.memBytes.Add(size)
-	t.entries.Add(1)
+	// Apply the accounting as one net delta per counter: adding the new
+	// entry's bytes before subtracting the victim's would let a
+	// concurrent MemoryBytes reader (the budget evictor above included)
+	// observe a transient overshoot at the boundary.
+	delta, dn := size, int64(1)
 	if old != nil {
-		t.memBytes.Add(-old.bytes)
-		t.entries.Add(-1)
+		delta -= old.bytes
+		dn--
 		t.evicts.Add(1)
+	}
+	if delta != 0 {
+		t.memBytes.Add(delta)
+	}
+	if dn != 0 {
+		t.entries.Add(dn)
+	}
+	if old != nil && old.tenant == e.tenant {
+		if st := t.tenantStat(e.tenant); st != nil {
+			st.bytes.Add(delta)
+			st.evicts.Add(1)
+		}
+	} else {
+		if st := t.tenantStat(e.tenant); st != nil {
+			st.bytes.Add(size)
+			st.entries.Add(1)
+		}
+		if old != nil {
+			if st := t.tenantStat(old.tenant); st != nil {
+				st.bytes.Add(-old.bytes)
+				st.entries.Add(-1)
+				st.evicts.Add(1)
+			}
+		}
+	}
+	if old != nil {
 		old.Release() // drop the table's reference; readers may linger
 	}
+}
+
+// Remove deletes the oldest entry matching (typeID, key, level,
+// provider), preserving the remaining ring order, and reports whether
+// one was found. It is the replay side of an eviction tombstone
+// (installSection), so it neither logs nor counts as an eviction — the
+// removal it replays was already persisted.
+func (t *THT) Remove(typeID int, key uint64, level int8, provider uint64) bool {
+	b := &t.buckets[key&t.mask]
+	b.mu.Lock()
+	for i := 0; i < b.n; i++ {
+		e := b.entries[(b.head+i)%len(b.entries)]
+		if e.Key == key && e.TypeID == typeID && e.Level == level && e.ProviderID == provider {
+			b.removeAt(i)
+			b.mu.Unlock()
+			t.memBytes.Add(-e.bytes)
+			t.entries.Add(-1)
+			if st := t.tenantStat(e.tenant); st != nil {
+				st.bytes.Add(-e.bytes)
+				st.entries.Add(-1)
+			}
+			e.Release()
+			return true
+		}
+	}
+	b.mu.Unlock()
+	return false
 }
 
 // forEach calls fn for every live entry, bucket by bucket in index
@@ -226,28 +405,30 @@ func (t *THT) forEach(fn func(e *Entry)) {
 	}
 }
 
-// SetLogging turns the insert log on or off. Disabling releases any
-// entries still queued (their inserts will not be replayable by a
-// delta).
+// SetLogging turns the operation log on or off. Disabling releases any
+// insert records still queued (their operations will not be replayable
+// by a delta).
 func (t *THT) SetLogging(on bool) {
 	t.logging.Store(on)
 	if !on {
-		for _, e := range t.DrainLog() {
-			e.Release()
+		for _, r := range t.DrainLog() {
+			r.e.Release() // nil-safe: tombstones hold no reference
 		}
 	}
 }
 
-// DrainLog takes the accumulated insert logs, bucket by bucket in
+// DrainLog takes the accumulated operation logs, bucket by bucket in
 // index order. Each bucket's log is swapped out under its own lock, so
-// an insert racing the drain lands wholly in this result or wholly in
-// the next one — the exactly-once partition delta saves rely on.
+// an operation racing the drain lands wholly in this result or wholly
+// in the next one — the exactly-once partition delta saves rely on.
 // Cross-bucket ordering in the result is arbitrary, which replay
-// tolerates (buckets are independent). Entries come retained (by
+// tolerates (buckets are independent); per-bucket order is preserved,
+// which tombstone replay requires. Insert records come retained (by
 // Insert, on the log's behalf); the caller owns those references and
-// must Release each entry when done with it.
-func (t *THT) DrainLog() []*Entry {
-	var log []*Entry
+// must Release each record's entry when done with it (tombstone
+// records hold none — Release is nil-safe).
+func (t *THT) DrainLog() []logRec {
+	var log []logRec
 	for bi := range t.buckets {
 		b := &t.buckets[bi]
 		b.mu.Lock()
@@ -267,7 +448,17 @@ func (t *THT) MemoryBytes() int64 { return t.memBytes.Load() }
 // Entries reports the current number of stored entries.
 func (t *THT) Entries() int64 { return t.entries.Load() }
 
-// Counters returns (lookups, hits, evictions).
+// Counters returns (lookups, hits, evictions). Evictions count every
+// entry displaced from the table — ring replacements and budget
+// evictions alike.
 func (t *THT) Counters() (lookups, hits, evicts int64) {
 	return t.lookups.Load(), t.hits.Load(), t.evicts.Load()
+}
+
+// BudgetCounters returns the budget-pressure counters: evictions
+// forced by the global or per-tenant budget (a subset of Counters'
+// evictions) and inserts rejected at admission (TinyLFU duels lost, or
+// entries larger than the budget).
+func (t *THT) BudgetCounters() (budgetEvicts, admitRejects int64) {
+	return t.budgetEvicts.Load(), t.admitRejects.Load()
 }

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CLI flag parsing shared by atmd and atmbench for the THT budget
+// knobs (the harness already hosts the recover-policy flag parser, so
+// the front-ends stay in lockstep).
+
+// ParseByteSize parses a byte-count flag value: a plain integer, or
+// one with a k/m/g suffix (binary units, case-insensitive). The empty
+// string is 0 (unbounded).
+func ParseByteSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult = 1 << 10
+	case 'm', 'M':
+		mult = 1 << 20
+	case 'g', 'G':
+		mult = 1 << 30
+	}
+	num := s
+	if mult != 1 {
+		num = s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 67108864, 64m, 2g)", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative byte size %q", s)
+	}
+	if mult != 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return n * mult, nil
+}
+
+// ParseTenantShares parses a tenant-shares flag value like
+// "acme=0.5,beta=0.25": tenant names mapped to fractions of the THT
+// budget. The empty string is nil. Range checks (each share in [0,1],
+// sum ≤ 1) are core.Config.Validate's job.
+func ParseTenantShares(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	shares := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		name, frac, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant share %q (want name=fraction)", part)
+		}
+		v, err := strconv.ParseFloat(frac, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad tenant share %q: %v", part, err)
+		}
+		if _, dup := shares[name]; dup {
+			return nil, fmt.Errorf("tenant %q listed twice", name)
+		}
+		shares[name] = v
+	}
+	return shares, nil
+}

@@ -42,9 +42,22 @@ import (
 //	               u32 successes, u32 excluded-region count
 //	               (all four meta fields must be zero when has-meta is
 //	               unset — the type is present only as an entry target)
-//	             u32 entry count, then per entry:
+//	             u32 insert count, then per insert:
 //	               u32 type index (into this delta's type table)
 //	               the version-1 entry encoding (length, body, CRC)
+//	             optionally, when the delta carries eviction tombstones
+//	             (the body ends after the inserts otherwise — old
+//	             tombstone-free encodings are unchanged, and the section
+//	             must be non-empty when present, so every delta has
+//	             exactly one encoding):
+//	               u32 tombstone count (≥ 1), then per tombstone:
+//	                 u32 type index (into this delta's type table)
+//	                 u32 position — the number of inserts preceding this
+//	                     tombstone in the operation stream; non-decreasing
+//	                     across the section and ≤ the insert count, which
+//	                     is how the decoder rebuilds the interleaved
+//	                     insert/tombstone order replay depends on
+//	                 u64 key, u8 p level, u64 provider task id
 //
 // Decoding is as strict as version 1 — exact lengths, validated enums
 // and indices, verified CRCs, no trailing bytes, typed errors, never a
@@ -195,12 +208,35 @@ func appendDeltaBody(body []byte, d *core.Delta) ([]byte, error) {
 	if len(d.Entries) > math.MaxUint32 {
 		return nil, fmt.Errorf("%d delta entries overflow the format", len(d.Entries))
 	}
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(d.Entries)))
-	var entry []byte // reused scratch
+	// The operation stream splits into the insert list and a trailing
+	// tombstone section; each tombstone records its position (inserts
+	// preceding it) so the decoder rebuilds the exact interleave.
+	type tombstone struct {
+		typeIdx  int
+		pos      int
+		key      uint64
+		level    int8
+		provider uint64
+	}
+	var tombs []tombstone
+	inserts := 0
 	for i := range d.Entries {
 		de := &d.Entries[i]
 		if de.Type < 0 || de.Type >= len(d.Types) {
 			return nil, fmt.Errorf("entry %d references type %d of %d", i, de.Type, len(d.Types))
+		}
+		if de.Tombstone {
+			tombs = append(tombs, tombstone{typeIdx: de.Type, pos: inserts, key: de.Key, level: de.Level, provider: de.Provider})
+			continue
+		}
+		inserts++
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(inserts))
+	var entry []byte // reused scratch
+	for i := range d.Entries {
+		de := &d.Entries[i]
+		if de.Tombstone {
+			continue
 		}
 		body = binary.LittleEndian.AppendUint32(body, uint32(de.Type))
 		eb, err := appendEntryBody(entry[:0], &de.EntrySnapshot)
@@ -214,6 +250,18 @@ func appendDeltaBody(body []byte, d *core.Delta) ([]byte, error) {
 		body = binary.LittleEndian.AppendUint32(body, uint32(len(eb)))
 		body = append(body, eb...)
 		body = binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(eb))
+	}
+	// The tombstone section is emitted only when non-empty, so a delta
+	// without evictions encodes exactly as it always has.
+	if len(tombs) > 0 {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(tombs)))
+		for _, t := range tombs {
+			body = binary.LittleEndian.AppendUint32(body, uint32(t.typeIdx))
+			body = binary.LittleEndian.AppendUint32(body, uint32(t.pos))
+			body = binary.LittleEndian.AppendUint64(body, t.key)
+			body = append(body, byte(t.level))
+			body = binary.LittleEndian.AppendUint64(body, t.provider)
+		}
 	}
 	return body, nil
 }
@@ -411,6 +459,9 @@ func decodeDeltaBody(body []byte, fp uint64) (*core.Delta, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Grown by append (not preallocated) so an entry-less delta decodes
+	// with a nil Entries slice, exactly as it was encoded.
+	var inserts []core.DeltaEntry
 	for j := uint32(0); j < nent; j++ {
 		ti, err := d.u32()
 		if err != nil {
@@ -438,8 +489,66 @@ func decodeDeltaBody(body []byte, fp uint64) (*core.Delta, error) {
 		if err != nil {
 			return nil, fmt.Errorf("entry %d: %w", j, err)
 		}
-		dl.Entries = append(dl.Entries, core.DeltaEntry{Type: int(ti), EntrySnapshot: *e})
+		inserts = append(inserts, core.DeltaEntry{Type: int(ti), EntrySnapshot: *e})
 	}
+	if d.remaining() == 0 {
+		// No tombstone section: the operation stream is the inserts.
+		dl.Entries = inserts
+		return dl, nil
+	}
+	// Trailing bytes are the tombstone section — canonically present
+	// only when non-empty, positions non-decreasing, everything
+	// validated so accepted inputs re-encode byte-identically.
+	ntomb, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ntomb == 0 {
+		return nil, fmt.Errorf("%w: empty tombstone section", ErrCorrupt)
+	}
+	dl.Entries = make([]core.DeltaEntry, 0, int(nent)+int(ntomb))
+	next := 0 // inserts already emitted into the merged stream
+	for j := uint32(0); j < ntomb; j++ {
+		ti, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(ti) >= len(dl.Types) {
+			return nil, fmt.Errorf("%w: tombstone %d references type %d of %d", ErrCorrupt, j, ti, len(dl.Types))
+		}
+		pos, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(pos) > len(inserts) || int(pos) < next {
+			return nil, fmt.Errorf("%w: tombstone %d position %d out of order (%d inserts, previous position %d)",
+				ErrCorrupt, j, pos, len(inserts), next)
+		}
+		key, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		level, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		if level > 15 {
+			return nil, fmt.Errorf("%w: tombstone %d p level %d out of range", ErrCorrupt, j, level)
+		}
+		provider, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		dl.Entries = append(dl.Entries, inserts[next:pos]...)
+		next = int(pos)
+		dl.Entries = append(dl.Entries, core.DeltaEntry{Type: int(ti), EntrySnapshot: core.EntrySnapshot{
+			Key:       key,
+			Level:     int8(level),
+			Provider:  provider,
+			Tombstone: true,
+		}})
+	}
+	dl.Entries = append(dl.Entries, inserts[next:]...)
 	if d.remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d stray bytes in delta record", ErrCorrupt, d.remaining())
 	}

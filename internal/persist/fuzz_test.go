@@ -37,6 +37,15 @@ func FuzzDeltaChainDecode(f *testing.F) {
 	if dOnly, err := MarshalChain(nil, deltas); err == nil {
 		f.Add(dOnly)
 	}
+	// A budget-evicting chain: its deltas interleave inserts with
+	// tombstone records, seeding the optional tombstone section of the
+	// delta body (count, type index, position ordering, identity rows).
+	if eb, eds, _ := buildEvictChain(f); len(eds) > 0 {
+		if data, err := MarshalChain(eb, eds); err == nil {
+			f.Add(data)
+			f.Add(data[:len(data)*3/4])
+		}
+	}
 	if v1, err := Marshal(base); err == nil {
 		f.Add(v1) // version skew path
 	}

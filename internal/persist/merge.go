@@ -20,14 +20,20 @@ import (
 // them on files.
 
 // Compact folds a delta chain into one full snapshot: metadata updates
-// apply in order, and each delta's entries append to its type's entry
-// list, so restoring the compacted snapshot replays exactly the same
-// per-type insert sequence as Restore(base) followed by ApplyDelta of
-// each delta in order — bit-identical engine state either way (the
-// property pinned by TestCompactEquivalentToDeltaReplay). Entries are
+// apply in order, each delta's operations append to its type's section,
+// and finally each section's insert/tombstone stream is folded with
+// core.FoldEntryOps — every tombstone cancels the oldest uncancelled
+// matching insert, exactly what replaying the tombstone against the
+// live table would have removed. Restoring the compacted snapshot
+// therefore replays the same per-type sequence as Restore(base)
+// followed by ApplyDelta of each delta in order — bit-identical engine
+// state either way (the property pinned by
+// TestCompactEquivalentToDeltaReplay). Surviving duplicate inserts are
 // deliberately NOT deduplicated: a key re-inserted by training appears
 // twice in the table too, and collapsing it would change bucket
-// occupancy and therefore eviction. The result shares the inputs'
+// occupancy and therefore eviction. Because evicted entries' payloads
+// are cancelled away, a compacted chain that saw evictions is strictly
+// smaller than the chain it folds. The result shares the inputs'
 // regions; do not mutate them afterwards.
 func Compact(base *core.Snapshot, deltas ...*core.Delta) (*core.Snapshot, error) {
 	if base == nil {
@@ -80,6 +86,13 @@ func Compact(base *core.Snapshot, deltas ...*core.Delta) (*core.Snapshot, error)
 			sec := section(d.Types[de.Type].Name)
 			sec.Entries = append(sec.Entries, de.EntrySnapshot)
 		}
+	}
+	// Fold the accumulated operation streams: tombstones cancel their
+	// targets (base entries included — a delta may evict state the base
+	// restored), leaving each section a pure insert list, which is what
+	// the full-snapshot encoding requires.
+	for i := range out.Types {
+		out.Types[i].Entries = core.FoldEntryOps(out.Types[i].Entries)
 	}
 	return out, nil
 }
@@ -148,6 +161,13 @@ func MergeSnapshots(snaps ...*core.Snapshot) (*core.Snapshot, error) {
 			}
 			for ei := range sec.Entries {
 				e := &sec.Entries[ei]
+				if e.Tombstone {
+					// Merging is defined over full snapshots, whose
+					// sections are pure insert lists; fold a chain with
+					// Compact before merging it.
+					return nil, fmt.Errorf("%w: snapshot %d type %q entry %d is a tombstone",
+						ErrCorrupt, si, sec.Name, ei)
+				}
 				k := entryKey{key: e.Key, level: e.Level}
 				cur, ok := m.entries[k]
 				if !ok {

@@ -149,6 +149,12 @@ func appendSectionBody(body []byte, sec *core.TypeSnapshot, entry *[]byte) ([]by
 }
 
 func appendEntryBody(b []byte, e *core.EntrySnapshot) ([]byte, error) {
+	if e.Tombstone {
+		// Tombstones exist only in delta operation streams, where they
+		// are serialized by the chain format's tombstone section; a full
+		// snapshot (or a v1 entry) carrying one is a caller bug.
+		return nil, fmt.Errorf("tombstone entry in a full-entry encoding")
+	}
 	b = binary.LittleEndian.AppendUint64(b, e.Key)
 	b = append(b, byte(e.Level))
 	b = binary.LittleEndian.AppendUint64(b, e.Provider)

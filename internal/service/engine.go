@@ -44,12 +44,23 @@ type Config struct {
 	SaveEvery time.Duration
 	// KindList overrides the served task-kind catalog (nil = Kinds()).
 	KindList []Kind
+	// MaxTenants caps the number of distinct tenant namespaces the
+	// engine will register, the default catalog tenant included (0 =
+	// 64). Each tenant costs one task type per kind it touches plus a
+	// THT accounting row, so the cap bounds what untrusted clients can
+	// allocate.
+	MaxTenants int
 }
 
 // Task is one unit of client work: a kind name plus its input vector.
+// Tenant selects the memoization namespace ("" = the default catalog
+// namespace): tasks of different tenants never share THT entries, and
+// with core.Config.TenantShares each tenant's entries are bounded by
+// its budget share.
 type Task struct {
-	Kind  string
-	Input []float64
+	Kind   string
+	Tenant string
+	Input  []float64
 }
 
 // GroupStats is the ATM activity of the coalesced engine batch a
@@ -117,7 +128,14 @@ type Engine struct {
 	rt    *taskrt.Runtime
 	memo  *core.ATM
 	kinds map[string]Kind
-	types map[string]*taskrt.TaskType
+
+	// types maps registered task-type names (tenant + "/" + kind) to
+	// their runtime types; tenants tracks the distinct tenant names
+	// against cfg.MaxTenants. Guarded by typeMu: the catalog tenant is
+	// registered at construction, other tenants lazily at admission.
+	typeMu  sync.RWMutex
+	types   map[string]*taskrt.TaskType
+	tenants map[string]bool
 
 	reqs     chan *request
 	ctl      chan *ctlReq
@@ -164,6 +182,9 @@ func New(cfg Config) *Engine {
 	if cfg.ResetEvery <= 0 {
 		cfg.ResetEvery = 64
 	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 64
+	}
 	var m taskrt.Memoizer
 	if cfg.Memo != nil {
 		m = cfg.Memo
@@ -188,26 +209,102 @@ func New(cfg Config) *Engine {
 		quit:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
+	e.tenants = map[string]bool{}
 	for _, k := range kindList {
-		k := k
 		e.kinds[k.Name] = k
-		e.types[k.Name] = rt.RegisterType(taskrt.TypeConfig{
-			Name:    k.TypeName(),
-			Memoize: k.Memoize,
-			Run: func(t *taskrt.Task) {
-				k.Fn(t.Float64s(0), t.Float64s(1))
-			},
-		})
-		if cfg.Memo != nil && k.Memoize {
-			// Touch the type state now: restored snapshot sections
-			// install lazily on first use, and a server should surface
-			// its warm-start entry count (and per-type metrics) from
-			// construction, not from the first request.
-			cfg.Memo.ChosenLevel(e.types[k.Name])
+		// Registering at construction also touches restored type state:
+		// snapshot sections install as types register, and a server
+		// should surface its warm-start entry count (and per-type
+		// metrics) from construction, not from the first request.
+		e.typeMu.Lock()
+		_, err := e.registerTypeLocked("", k)
+		e.typeMu.Unlock()
+		if err != nil {
+			panic("service: catalog registration exceeded MaxTenants: " + err.Error())
 		}
 	}
 	go e.loop()
 	return e
+}
+
+// typeName is the task-type name registered for (tenant, kind): the
+// tenant namespace prefix core.SplitTenant recognizes. The default
+// tenant is the catalog's historical "svc/" prefix, so default-tenant
+// snapshots stay compatible.
+func typeName(tenant string, k Kind) string {
+	if tenant == "" {
+		return k.TypeName()
+	}
+	return tenant + "/" + k.Name
+}
+
+// validTenant bounds tenant names: metrics-label- and
+// type-name-safe characters only, no '/' (the namespace separator),
+// and not the default catalog prefix (which "" already addresses).
+func validTenant(t string) error {
+	if t == "" {
+		return nil
+	}
+	if t == "svc" {
+		return &BadTaskError{msg: `tenant "svc" is the default namespace; omit the tenant instead`}
+	}
+	if len(t) > 64 {
+		return &BadTaskError{msg: fmt.Sprintf("tenant name %q longer than 64 bytes", t[:64])}
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.' {
+			continue
+		}
+		return &BadTaskError{msg: fmt.Sprintf("tenant name %q: want [A-Za-z0-9_.-]", t)}
+	}
+	return nil
+}
+
+// taskType returns the registered runtime type for (tenant, kind), or
+// nil when that pair was never admitted.
+func (e *Engine) taskType(tenant string, k Kind) *taskrt.TaskType {
+	e.typeMu.RLock()
+	tt := e.types[typeName(tenant, k)]
+	e.typeMu.RUnlock()
+	return tt
+}
+
+// registerType resolves (tenant, kind) to its runtime type,
+// registering the type (and the tenant) on first use. The MaxTenants
+// cap is enforced here: a request naming one tenant too many is
+// rejected before admission.
+func (e *Engine) registerType(tenant string, k Kind) (*taskrt.TaskType, error) {
+	if tt := e.taskType(tenant, k); tt != nil {
+		return tt, nil
+	}
+	e.typeMu.Lock()
+	defer e.typeMu.Unlock()
+	return e.registerTypeLocked(tenant, k)
+}
+
+func (e *Engine) registerTypeLocked(tenant string, k Kind) (*taskrt.TaskType, error) {
+	name := typeName(tenant, k)
+	if tt := e.types[name]; tt != nil {
+		return tt, nil
+	}
+	tkey := core.TenantOf(name)
+	if !e.tenants[tkey] && len(e.tenants) >= e.cfg.MaxTenants {
+		return nil, &BadTaskError{msg: fmt.Sprintf("tenant %q would exceed the %d-tenant limit", tenant, e.cfg.MaxTenants)}
+	}
+	tt := e.rt.RegisterType(taskrt.TypeConfig{
+		Name:    name,
+		Memoize: k.Memoize,
+		Run: func(t *taskrt.Task) {
+			k.Fn(t.Float64s(0), t.Float64s(1))
+		},
+	})
+	if e.memo != nil && k.Memoize {
+		e.memo.ChosenLevel(tt)
+	}
+	e.tenants[tkey] = true
+	e.types[name] = tt
+	return tt, nil
 }
 
 // Runtime exposes the underlying task runtime (tests, stats).
@@ -271,7 +368,9 @@ func (e *Engine) setSaveErr(err error) {
 	e.saveMu.Unlock()
 }
 
-// validate checks a task group before admission.
+// validate checks a task group before admission and registers any new
+// (tenant, kind) types it names, so the loop goroutine only ever sees
+// resolvable tasks.
 func (e *Engine) validate(tasks []Task) error {
 	if len(tasks) == 0 {
 		return &BadTaskError{msg: "empty task list"}
@@ -283,6 +382,12 @@ func (e *Engine) validate(tasks []Task) error {
 		}
 		if len(t.Input) != k.In {
 			return &BadTaskError{msg: fmt.Sprintf("task %d: kind %q wants %d input floats, got %d", i, t.Kind, k.In, len(t.Input))}
+		}
+		if err := validTenant(t.Tenant); err != nil {
+			return fmt.Errorf("task %d: %w", i, err)
+		}
+		if _, err := e.registerType(t.Tenant, k); err != nil {
+			return fmt.Errorf("task %d: %w", i, err)
 		}
 	}
 	return nil
@@ -328,9 +433,17 @@ func (e *Engine) Do(tasks []Task) ([][]float64, GroupStats, error) {
 }
 
 // Lookup probes the memoization table for the outputs the engine would
-// serve for (kind, input) right now, without executing anything. It
-// runs entirely off the engine loop — a read-side fast path.
+// serve for (kind, input) in the default namespace; see LookupTenant.
 func (e *Engine) Lookup(kind string, input []float64) ([]float64, bool, error) {
+	return e.LookupTenant("", kind, input)
+}
+
+// LookupTenant probes the memoization table for the outputs the engine
+// would serve for (tenant, kind, input) right now, without executing
+// anything. It runs entirely off the engine loop — a read-side fast
+// path. A tenant that never submitted is simply a miss: the read path
+// must not allocate namespaces.
+func (e *Engine) LookupTenant(tenant, kind string, input []float64) ([]float64, bool, error) {
 	k, ok := e.kinds[kind]
 	if !ok {
 		return nil, false, &BadTaskError{msg: fmt.Sprintf("unknown kind %q", kind)}
@@ -338,12 +451,19 @@ func (e *Engine) Lookup(kind string, input []float64) ([]float64, bool, error) {
 	if len(input) != k.In {
 		return nil, false, &BadTaskError{msg: fmt.Sprintf("kind %q wants %d input floats, got %d", kind, k.In, len(input))}
 	}
+	if err := validTenant(tenant); err != nil {
+		return nil, false, err
+	}
 	e.lookups.Add(1)
 	if e.memo == nil || !k.Memoize {
 		return nil, false, nil
 	}
+	tt := e.taskType(tenant, k)
+	if tt == nil {
+		return nil, false, nil
+	}
 	out := region.NewFloat64(k.Out)
-	if !e.memo.Peek(e.types[kind], []region.Region{region.WrapFloat64(input)}, []region.Region{out}) {
+	if !e.memo.Peek(tt, []region.Region{region.WrapFloat64(input)}, []region.Region{out}) {
 		return nil, false, nil
 	}
 	e.lookHits.Add(1)
@@ -489,7 +609,8 @@ drained:
 			k := e.kinds[t.Kind]
 			out := region.NewFloat64(k.Out)
 			outRegs = append(outRegs, out)
-			entries = append(entries, taskrt.Desc(e.types[t.Kind],
+			// Admission registered the (tenant, kind) type; never nil here.
+			entries = append(entries, taskrt.Desc(e.taskType(t.Tenant, k),
 				taskrt.In(region.WrapFloat64(t.Input)), taskrt.Out(out)))
 		}
 	}

@@ -22,8 +22,12 @@ import (
 //	POST /v1/submit    JSON {"tasks":[{"kind":"...","input":[...]}]} or
 //	                   binary application/x-atm-tasks; batched bodies
 //	                   coalesce into one SubmitBatch on the engine loop.
+//	                   A per-task "tenant" field (or the X-ATM-Tenant
+//	                   header for the whole request) selects the
+//	                   memoization namespace.
 //	GET  /v1/lookup    ?kind=...&input=1,2,... (or &key=N&seed=S):
-//	                   memoization probe, never executes.
+//	                   memoization probe, never executes; &tenant= (or
+//	                   X-ATM-Tenant) scopes the probe.
 //	POST /v1/snapshot  optional JSON {"path":"..."}: persist the table.
 //	GET  /v1/stats     JSON operational counters + ATM statistics.
 //	GET  /metrics      Prometheus text format.
@@ -43,12 +47,14 @@ type submitRequest struct {
 // taskSpec is one task: a kind plus either an explicit input vector or
 // a (key, seed) pair the server expands through the deterministic
 // workload generator (the form atmload's smoke mode and quick curl
-// tests use).
+// tests use). Tenant selects the memoization namespace; a request-wide
+// default comes from the X-ATM-Tenant header.
 type taskSpec struct {
-	Kind  string    `json:"kind"`
-	Input []float64 `json:"input,omitempty"`
-	Key   *uint64   `json:"key,omitempty"`
-	Seed  uint64    `json:"seed,omitempty"`
+	Kind   string    `json:"kind"`
+	Tenant string    `json:"tenant,omitempty"`
+	Input  []float64 `json:"input,omitempty"`
+	Key    *uint64   `json:"key,omitempty"`
+	Seed   uint64    `json:"seed,omitempty"`
 }
 
 // submitResponse is the JSON submit reply.
@@ -106,6 +112,28 @@ type StatsResponse struct {
 	THTHits     int64  `json:"tht_hits"`
 	IKTDefers   int64  `json:"ikt_defers"`
 	SaveError   string `json:"save_error,omitempty"`
+
+	// Budget / eviction state (zero when the THT is unbounded):
+	// THTEvictions counts every displaced entry, THTBudgetEvictions
+	// the subset forced by the byte budget, THTAdmissionRejects inserts
+	// refused at admission.
+	THTBudgetBytes      int64  `json:"tht_budget_bytes,omitempty"`
+	THTEvictionPolicy   string `json:"tht_eviction_policy,omitempty"`
+	THTEvictions        int64  `json:"tht_evictions"`
+	THTBudgetEvictions  int64  `json:"tht_budget_evictions"`
+	THTAdmissionRejects int64  `json:"tht_admission_rejects"`
+	// Tenants is the per-tenant THT accounting (present once a
+	// non-default tenant registered or a budget is set).
+	Tenants []TenantStatsJSON `json:"tenants,omitempty"`
+}
+
+// TenantStatsJSON is one tenant's row in GET /v1/stats.
+type TenantStatsJSON struct {
+	Name        string `json:"name"`
+	BudgetBytes int64  `json:"budget_bytes,omitempty"`
+	Bytes       int64  `json:"bytes"`
+	Entries     int64  `json:"entries"`
+	Evictions   int64  `json:"evictions"`
 }
 
 // WarmHitRatio is the fraction of ATM-visible tasks served without
@@ -136,6 +164,9 @@ func (s StatsResponse) Sub(prev StatsResponse) StatsResponse {
 	d.THTLookups -= prev.THTLookups
 	d.THTHits -= prev.THTHits
 	d.IKTDefers -= prev.IKTDefers
+	d.THTEvictions -= prev.THTEvictions
+	d.THTBudgetEvictions -= prev.THTBudgetEvictions
+	d.THTAdmissionRejects -= prev.THTAdmissionRejects
 	return d
 }
 
@@ -236,10 +267,16 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 }
 
-// resolve expands a taskSpec into a concrete Task.
-func (s *Server) resolve(i int, spec taskSpec) (Task, error) {
+// resolve expands a taskSpec into a concrete Task. defTenant is the
+// request-wide tenant (the X-ATM-Tenant header); a per-task tenant
+// overrides it.
+func (s *Server) resolve(i int, spec taskSpec, defTenant string) (Task, error) {
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = defTenant
+	}
 	if spec.Input != nil {
-		return Task{Kind: spec.Kind, Input: spec.Input}, nil
+		return Task{Kind: spec.Kind, Tenant: tenant, Input: spec.Input}, nil
 	}
 	if spec.Key == nil {
 		return Task{}, &BadTaskError{msg: fmt.Sprintf("task %d: needs either input or key", i)}
@@ -248,7 +285,7 @@ func (s *Server) resolve(i int, spec taskSpec) (Task, error) {
 	if !ok {
 		return Task{}, &BadTaskError{msg: fmt.Sprintf("task %d: unknown kind %q", i, spec.Kind)}
 	}
-	return Task{Kind: spec.Kind, Input: Input(k, *spec.Key, spec.Seed)}, nil
+	return Task{Kind: spec.Kind, Tenant: tenant, Input: Input(k, *spec.Key, spec.Seed)}, nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -259,8 +296,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	var tasks []Task
 	ct := r.Header.Get("Content-Type")
+	defTenant := r.Header.Get("X-ATM-Tenant")
 	if strings.HasPrefix(ct, binaryContentType) {
 		tasks, err = decodeBinaryTasks(body)
+		for i := range tasks {
+			// The binary encoding carries no per-task tenant; the header
+			// scopes the whole request.
+			tasks[i].Tenant = defTenant
+		}
 	} else {
 		var req submitRequest
 		if jerr := json.Unmarshal(body, &req); jerr != nil {
@@ -269,7 +312,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			tasks = make([]Task, 0, len(req.Tasks))
 			for i, spec := range req.Tasks {
 				var t Task
-				if t, err = s.resolve(i, spec); err != nil {
+				if t, err = s.resolve(i, spec, defTenant); err != nil {
 					break
 				}
 				tasks = append(tasks, t)
@@ -332,7 +375,11 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &BadTaskError{msg: "lookup needs ?input=... or ?key=..."})
 		return
 	}
-	out, hit, err := s.e.Lookup(kind, input)
+	tenant := q.Get("tenant")
+	if tenant == "" {
+		tenant = r.Header.Get("X-ATM-Tenant")
+	}
+	out, hit, err := s.e.LookupTenant(tenant, kind, input)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -388,6 +435,19 @@ func (s *Server) BuildStats() StatsResponse {
 	resp.THTLookups = st.THTLookups
 	resp.THTHits = st.THTHits
 	resp.IKTDefers = st.IKTDefers
+	resp.THTBudgetBytes = st.THTBudgetBytes
+	if st.THTBudgetBytes > 0 {
+		resp.THTEvictionPolicy = st.THTEvictionPolicy
+	}
+	resp.THTEvictions = st.THTEvictions
+	resp.THTBudgetEvictions = st.THTBudgetEvictions
+	resp.THTAdmissionRejects = st.THTAdmissionRejects
+	for _, ts := range st.Tenants {
+		resp.Tenants = append(resp.Tenants, TenantStatsJSON{
+			Name: ts.Name, BudgetBytes: ts.BudgetBytes,
+			Bytes: ts.Bytes, Entries: ts.Entries, Evictions: ts.Evictions,
+		})
+	}
 	return resp
 }
 
@@ -464,8 +524,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Sample("atm_tht_lookups_total", nil, float64(st.THTLookups))
 	p.Family("atm_tht_hits_total", "counter", "THT hits.")
 	p.Sample("atm_tht_hits_total", nil, float64(st.THTHits))
-	p.Family("atm_tht_evictions_total", "counter", "THT ring-bucket evictions.")
+	p.Family("atm_tht_evictions_total", "counter", "THT evictions (ring replacements and budget evictions).")
 	p.Sample("atm_tht_evictions_total", nil, float64(st.THTEvictions))
+	p.Family("atm_tht_budget_bytes", "gauge", "Configured THT memory budget (0 = unbounded).")
+	p.Sample("atm_tht_budget_bytes", nil, float64(st.THTBudgetBytes))
+	p.Family("atm_tht_budget_evictions_total", "counter", "THT evictions forced by the memory budget.")
+	p.Sample("atm_tht_budget_evictions_total", nil, float64(st.THTBudgetEvictions))
+	p.Family("atm_tht_admission_rejects_total", "counter", "THT inserts rejected at admission (budget or TinyLFU duel).")
+	p.Sample("atm_tht_admission_rejects_total", nil, float64(st.THTAdmissionRejects))
+	if len(st.Tenants) > 0 {
+		p.Family("atm_tenant_budget_bytes", "gauge", "Per-tenant THT budget share (0 = global budget only).")
+		p.Family("atm_tenant_bytes", "gauge", "Per-tenant THT payload bytes.")
+		p.Family("atm_tenant_entries", "gauge", "Per-tenant THT entries.")
+		p.Family("atm_tenant_evictions_total", "counter", "Per-tenant THT evictions.")
+		for _, ts := range st.Tenants {
+			name := ts.Name
+			if name == "" {
+				name = "default"
+			}
+			l := []metrics.Label{{Name: "tenant", Value: name}}
+			p.Sample("atm_tenant_budget_bytes", l, float64(ts.BudgetBytes))
+			p.Sample("atm_tenant_bytes", l, float64(ts.Bytes))
+			p.Sample("atm_tenant_entries", l, float64(ts.Entries))
+			p.Sample("atm_tenant_evictions_total", l, float64(ts.Evictions))
+		}
+	}
 	p.Family("atm_ikt_inserts_total", "counter", "In-flight Key Table inserts.")
 	p.Sample("atm_ikt_inserts_total", nil, float64(st.IKTInserts))
 	p.Family("atm_ikt_defers_total", "counter", "Tasks deferred to an in-flight provider.")
